@@ -1,0 +1,126 @@
+// Reproduces Figure 9: effectiveness of each non-uniform partitioning
+// dimension on the 110B model, under three stragglers of levels 1, 3 and 8
+// placed on one, two, or three nodes. Variants:
+//   data            - non-uniform training data only,
+//   data+layer      - plus non-uniform layer assignment (full lower level),
+//   full            - plus non-uniform devices and stages (upper level).
+// Reported metric: gap from the theoretic optimum, 1 - T_opt / T_actual.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+
+namespace malleus {
+namespace bench {
+namespace {
+
+double SimulatedSeconds(const Workload& w, const model::CostModel& cost,
+                        const plan::ParallelPlan& p,
+                        const straggler::Situation& s) {
+  Rng rng(7);
+  sim::SimOptions opts;
+  double sum = 0.0;
+  const int steps = 5;
+  for (int i = 0; i < steps; ++i) {
+    Result<sim::StepResult> r =
+        sim::SimulateStep(w.cluster, cost, p, s, opts, &rng);
+    MALLEUS_CHECK_OK(r.status());
+    sum += r->step_seconds;
+  }
+  return sum / steps;
+}
+
+struct Variant {
+  const char* label;
+  bool layers;
+  bool devices;
+};
+
+void Run() {
+  const Workload w = Workload110B();
+  const model::CostModel cost(w.spec, w.cluster.gpu());
+  core::Planner planner(w.cluster, cost);
+
+  const straggler::Situation healthy(w.cluster.num_gpus());
+  Result<core::PlanResult> base = planner.Plan(healthy, w.global_batch);
+  MALLEUS_CHECK_OK(base.status());
+  const double base_actual = SimulatedSeconds(w, cost, base->plan, healthy);
+  const int dp = base->plan.dp_degree();
+
+  // Straggler placements: levels {8, 3, 1} spread over 1 / 2 / 3 nodes.
+  const int per_node = w.cluster.gpus_per_node();
+  std::vector<std::pair<const char*, straggler::Situation>> scenarios;
+  {
+    straggler::Situation s(w.cluster.num_gpus());
+    s.SetLevel(0, 8);
+    s.SetLevel(1, 3);
+    s.SetLevel(2, 1);
+    scenarios.push_back({"1 node", s});
+  }
+  {
+    straggler::Situation s(w.cluster.num_gpus());
+    s.SetLevel(0, 8);
+    s.SetLevel(per_node, 3);
+    s.SetLevel(per_node + 1, 1);
+    scenarios.push_back({"2 nodes", s});
+  }
+  {
+    straggler::Situation s(w.cluster.num_gpus());
+    s.SetLevel(0, 8);
+    s.SetLevel(per_node, 3);
+    s.SetLevel(2 * per_node, 1);
+    scenarios.push_back({"3 nodes", s});
+  }
+
+  const Variant variants[] = {
+      {"data", false, false},
+      {"data+layer", true, false},
+      {"data+layer+device+stage", true, true},
+  };
+
+  TablePrinter table(
+      "Figure 9 (110B): gap from theoretic optimum, 1 - T_opt/T_actual");
+  table.SetHeader({"Non-uniform dims", "1 node", "2 nodes", "3 nodes"});
+  for (const Variant& v : variants) {
+    std::vector<std::string> row = {v.label};
+    for (const auto& [label, situation] : scenarios) {
+      core::PlannerOptions opts;
+      opts.dp_degree = dp;
+      opts.nonuniform_data = true;
+      opts.nonuniform_layers = v.layers;
+      opts.nonuniform_devices = v.devices;
+      Result<core::PlanResult> planned =
+          planner.Plan(situation, w.global_batch, opts);
+      if (!planned.ok()) {
+        row.push_back("infeasible");
+        continue;
+      }
+      const double actual =
+          SimulatedSeconds(w, cost, planned->plan, situation);
+      const double opt = base_actual * situation.TheoreticSlowdown();
+      row.push_back(StrFormat("%.1f%% (%.1fs)",
+                              100.0 * (1.0 - opt / actual), actual));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): the lower level alone (data / data+layer)\n"
+      "suffices when stragglers share one node (~10%% gap) but degrades to\n"
+      "20-40%% across multiple nodes; adding non-uniform devices+stages\n"
+      "recovers the gap to <~10%%.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace malleus
+
+int main() {
+  std::printf("Malleus reproduction: Figure 9 ablation\n\n");
+  malleus::bench::Run();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Reproduces Table 2 + Figure 7: end-to-end per-step time of every
+// competitor across the straggler trace Normal -> S1 -> ... -> S6 -> Normal
+// for the 32B / 70B / 110B models, with transition overheads (restart /
+// migration) and the healthy-cluster MFU.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "baselines/trace_runner.h"
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace malleus {
+namespace bench {
+namespace {
+
+using baselines::PhaseStats;
+using straggler::SituationId;
+
+constexpr SituationId kStragglerPhases[] = {
+    SituationId::kS1, SituationId::kS2, SituationId::kS3,
+    SituationId::kS4, SituationId::kS5, SituationId::kS6};
+
+struct FrameworkRun {
+  std::string name;
+  std::vector<PhaseStats> phases;  // Normal, S1..S6, Normal.
+  double normal_seconds = 0.0;
+  double mfu = 0.0;
+  std::map<SituationId, double> phase_seconds;
+};
+
+void PrintFigure7(const Workload& w, const std::vector<FrameworkRun>& runs) {
+  std::printf("-- Figure 7 (%s): per-step time along the trace --\n",
+              w.label.c_str());
+  for (const FrameworkRun& run : runs) {
+    std::printf("%-24s :", run.name.c_str());
+    for (const PhaseStats& phase : run.phases) {
+      std::printf(" [%s", straggler::SituationName(phase.situation));
+      if (phase.restart_seconds > 0) {
+        std::printf(" restart=%.0fs", phase.restart_seconds);
+      }
+      if (phase.migration_seconds > 0) {
+        std::printf(" migr=%.1fs", phase.migration_seconds);
+      }
+      std::printf("]");
+      for (double t : phase.step_seconds) std::printf(" %.1f", t);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void RunWorkload(const Workload& w) {
+  const model::CostModel cost(w.spec, w.cluster.gpu());
+  std::printf("== Workload %s: %s on %s ==\n\n", w.label.c_str(),
+              cost.spec().ToString().c_str(), w.cluster.ToString().c_str());
+
+  auto competitors = MakeCompetitors(w.cluster, cost);
+  const auto trace = straggler::StandardTrace(/*steps_per_phase=*/8);
+
+  std::vector<FrameworkRun> runs;
+  for (auto& fw : competitors) {
+    Result<std::vector<PhaseStats>> phases =
+        baselines::RunTrace(fw.get(), w.cluster, trace, w.global_batch);
+    if (!phases.ok()) {
+      std::printf("%s: trace failed: %s\n", fw->name().c_str(),
+                  phases.status().ToString().c_str());
+      continue;
+    }
+    FrameworkRun run;
+    run.name = fw->name();
+    run.phases = std::move(phases).ValueOrDie();
+    run.normal_seconds = run.phases.front().mean_step_seconds;
+    run.mfu =
+        cost.Mfu(run.normal_seconds, static_cast<int>(w.global_batch),
+                 w.cluster.num_gpus());
+    for (const PhaseStats& p : run.phases) {
+      // Keep the later occurrence only for the duplicated Normal phase.
+      run.phase_seconds[p.situation] = p.mean_step_seconds;
+    }
+    run.phase_seconds[SituationId::kNormal] = run.normal_seconds;
+    runs.push_back(std::move(run));
+  }
+
+  PrintFigure7(w, runs);
+
+  // Table 2 block for this model.
+  const FrameworkRun* malleus = nullptr;
+  for (const FrameworkRun& r : runs) {
+    if (r.name == "Malleus") malleus = &r;
+  }
+  if (malleus == nullptr) {
+    std::printf("Malleus trace failed for %s; skipping its Table 2 block\n",
+                w.label.c_str());
+    return;
+  }
+
+  TablePrinter table(StrFormat("Table 2 (%s): avg step seconds "
+                               "(improvement of Malleus in parens)",
+                               w.label.c_str()));
+  std::vector<std::string> header = {"Framework", "Normal (Time, MFU)"};
+  for (SituationId id : kStragglerPhases) {
+    header.push_back(straggler::SituationName(id));
+  }
+  header.push_back("Avg. Improv.");
+  table.SetHeader(std::move(header));
+
+  for (const FrameworkRun& run : runs) {
+    std::vector<std::string> row = {
+        run.name, StrFormat("%.1f, %.1f%%", run.normal_seconds,
+                            100.0 * run.mfu)};
+    std::vector<double> improvements;
+    for (SituationId id : kStragglerPhases) {
+      const double t = run.phase_seconds.at(id);
+      if (&run == malleus) {
+        row.push_back(StrFormat("%.1f", t));
+      } else {
+        const double imp = t / malleus->phase_seconds.at(id);
+        improvements.push_back(imp);
+        row.push_back(StrFormat("%.1f (%.2fx)", t, imp));
+      }
+    }
+    row.push_back(&run == malleus ? "-"
+                                  : StrFormat("%.2fx",
+                                              GeoMean(improvements)));
+    table.AddRow(std::move(row));
+  }
+
+  // Theoretic optimum row (Table 2's last row).
+  std::vector<std::string> opt_row = {"Theoretic Opt.", "-"};
+  for (SituationId id : kStragglerPhases) {
+    Result<straggler::Situation> s =
+        straggler::Situation::Canonical(w.cluster, id);
+    MALLEUS_CHECK_OK(s.status());
+    opt_row.push_back(StrFormat(
+        "%.1f", malleus->normal_seconds * s->TheoreticSlowdown()));
+  }
+  opt_row.push_back("-");
+  table.AddSeparator();
+  table.AddRow(std::move(opt_row));
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace malleus
+
+int main() {
+  std::printf("Malleus reproduction: Table 2 + Figure 7\n"
+              "(simulated cluster; shapes, not absolute numbers, are the "
+              "claim)\n\n");
+  for (const malleus::bench::Workload& w : malleus::bench::AllWorkloads()) {
+    malleus::bench::RunWorkload(w);
+  }
+  return 0;
+}

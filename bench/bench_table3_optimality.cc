@@ -1,0 +1,91 @@
+// Reproduces Table 3: the ratio of step time with stragglers to step time
+// without, comparing
+//   R_actual - measured in the event simulator under the deduced plan,
+//   R_opt    - the theoretic optimum N / ((N - n) + sum 1/x),
+//   R_est    - the planner's closed-form estimate (Eq. (1) cost model),
+// plus the paper's two gap columns 1 - R_opt/R_actual and
+// 1 - R_est/R_actual.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/planner.h"
+#include "sim/pipeline_sim.h"
+
+namespace malleus {
+namespace bench {
+namespace {
+
+using straggler::Situation;
+using straggler::SituationId;
+
+// Mean simulated step time of a plan under a situation.
+double SimulatedSeconds(const Workload& w, const model::CostModel& cost,
+                        const plan::ParallelPlan& p, const Situation& s) {
+  Rng rng(99);
+  sim::SimOptions opts;
+  double sum = 0.0;
+  const int steps = 5;
+  for (int i = 0; i < steps; ++i) {
+    Result<sim::StepResult> r =
+        sim::SimulateStep(w.cluster, cost, p, s, opts, &rng);
+    MALLEUS_CHECK_OK(r.status());
+    sum += r->step_seconds;
+  }
+  return sum / steps;
+}
+
+void RunWorkload(const Workload& w) {
+  const model::CostModel cost(w.spec, w.cluster.gpu());
+  core::Planner planner(w.cluster, cost);
+
+  const Situation healthy(w.cluster.num_gpus());
+  Result<core::PlanResult> base = planner.Plan(healthy, w.global_batch);
+  MALLEUS_CHECK_OK(base.status());
+  const double base_actual =
+      SimulatedSeconds(w, cost, base->plan, healthy);
+  const double base_est = base->estimated_full_seconds;
+  const int dp = base->plan.dp_degree();
+
+  TablePrinter table(
+      StrFormat("Table 3 (%s): slowdown ratios vs the theoretic optimum",
+                w.label.c_str()));
+  table.SetHeader({"Situation", "R_actual", "R_opt", "1-Ropt/Ract",
+                   "R_est", "1-Rest/Ract"});
+  for (SituationId id :
+       {SituationId::kS1, SituationId::kS2, SituationId::kS3,
+        SituationId::kS4, SituationId::kS5, SituationId::kS6}) {
+    Result<Situation> s = Situation::Canonical(w.cluster, id);
+    MALLEUS_CHECK_OK(s.status());
+    core::PlannerOptions opts;
+    opts.dp_degree = dp;  // Re-planning keeps the DP degree (footnote 2).
+    Result<core::PlanResult> planned = planner.Plan(*s, w.global_batch, opts);
+    MALLEUS_CHECK_OK(planned.status());
+
+    const double r_actual =
+        SimulatedSeconds(w, cost, planned->plan, *s) / base_actual;
+    const double r_opt = s->TheoreticSlowdown();
+    const double r_est = planned->estimated_full_seconds / base_est;
+    table.AddRow({straggler::SituationName(id),
+                  StrFormat("%.2f", r_actual), StrFormat("%.2f", r_opt),
+                  StrFormat("%.2f%%", 100.0 * (1.0 - r_opt / r_actual)),
+                  StrFormat("%.2f", r_est),
+                  StrFormat("%.2f%%", 100.0 * (1.0 - r_est / r_actual))});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace malleus
+
+int main() {
+  std::printf("Malleus reproduction: Table 3 (closeness to the theoretic "
+              "optimum and cost-model accuracy)\n\n");
+  for (const malleus::bench::Workload& w : malleus::bench::AllWorkloads()) {
+    malleus::bench::RunWorkload(w);
+  }
+  return 0;
+}

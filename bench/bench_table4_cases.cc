@@ -1,0 +1,54 @@
+// Reproduces Table 4: the case-study parallelization plans - 110B under S4
+// (stragglers of three levels on three nodes) and 32B under S5 (a whole
+// node of level-1 stragglers plus a level-2 straggler elsewhere). The
+// printed plans show the same qualitative structure as the paper's:
+// stragglers isolated into small groups, pipelines of unequal depth, fewer
+// layers and less data on the straggling pipelines.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/planner.h"
+#include "plan/estimator.h"
+
+namespace malleus {
+namespace bench {
+namespace {
+
+void RunCase(const Workload& w, straggler::SituationId id) {
+  const model::CostModel cost(w.spec, w.cluster.gpu());
+  core::Planner planner(w.cluster, cost);
+
+  Result<straggler::Situation> s =
+      straggler::Situation::Canonical(w.cluster, id);
+  MALLEUS_CHECK_OK(s.status());
+
+  const straggler::Situation healthy(w.cluster.num_gpus());
+  Result<core::PlanResult> base = planner.Plan(healthy, w.global_batch);
+  MALLEUS_CHECK_OK(base.status());
+
+  core::PlannerOptions opts;
+  opts.dp_degree = base->plan.dp_degree();
+  Result<core::PlanResult> r = planner.Plan(*s, w.global_batch, opts);
+  MALLEUS_CHECK_OK(r.status());
+
+  std::printf("== Table 4 case: %s under %s ==\n", w.label.c_str(),
+              straggler::SituationName(id));
+  std::printf("%s\n", s->ToString().c_str());
+  std::printf("%s", r->plan.ToString().c_str());
+  std::printf("estimated step: %.1f s (healthy plan: %.1f s)\n\n",
+              r->estimated_full_seconds, base->estimated_full_seconds);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace malleus
+
+int main() {
+  std::printf("Malleus reproduction: Table 4 case studies\n\n");
+  malleus::bench::RunCase(malleus::bench::Workload110B(),
+                          malleus::straggler::SituationId::kS4);
+  malleus::bench::RunCase(malleus::bench::Workload32B(),
+                          malleus::straggler::SituationId::kS5);
+  return 0;
+}

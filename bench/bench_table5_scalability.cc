@@ -1,0 +1,89 @@
+// Reproduces Table 5 (Appendix A.2): wall-time breakdown of the planning
+// algorithm at 64 GPUs (the S3 scenario) and at 1024 GPUs (128 nodes, ~3%
+// stragglers, global batch linearly scaled to 1024), split into GPU
+// grouping / pipeline division / group ordering / work assignment.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/planner.h"
+
+namespace malleus {
+namespace bench {
+namespace {
+
+struct Scenario {
+  std::string label;
+  topo::ClusterSpec cluster;
+  straggler::Situation situation;
+  int64_t global_batch;
+  int dp_degree;
+};
+
+core::PlannerTimings RunScenario(const Scenario& sc, bool* exact_hint) {
+  const model::CostModel cost(model::ModelSpec::Llama110B(),
+                              sc.cluster.gpu());
+  core::Planner planner(sc.cluster, cost);
+  core::PlannerOptions opts;
+  opts.dp_degree = sc.dp_degree;
+  Result<core::PlanResult> r =
+      planner.Plan(sc.situation, sc.global_batch, opts);
+  MALLEUS_CHECK_OK(r.status());
+  (void)exact_hint;
+  return r->timings;
+}
+
+void Run() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario sc{"64 GPUs (S3)", topo::ClusterSpec::A800Cluster(8),
+                straggler::Situation(64), 64, 2};
+    sc.situation = straggler::Situation::Canonical(sc.cluster,
+                                                   straggler::SituationId::kS3)
+                       .ValueOrDie();
+    scenarios.push_back(std::move(sc));
+  }
+  {
+    // 128 nodes, 32 stragglers (~3% of the fleet) of mixed levels spread
+    // over 32 distinct nodes; B scaled linearly to 1024 (4M tokens).
+    Scenario sc{"1024 GPUs (32 stragglers)",
+                topo::ClusterSpec::A800Cluster(128),
+                straggler::Situation(1024), 1024, 8};
+    for (int i = 0; i < 32; ++i) {
+      const int level = i < 16 ? 1 : (i < 24 ? 2 : 3);
+      sc.situation.SetLevel(i * sc.cluster.gpus_per_node(), level);
+    }
+    scenarios.push_back(std::move(sc));
+  }
+
+  TablePrinter table("Table 5: planning time breakdown (seconds)");
+  table.SetHeader({"Scenario", "GPU Grouping", "Pipeline Division",
+                   "Group Ordering", "Work Assignment", "Total"});
+  for (const Scenario& sc : scenarios) {
+    const core::PlannerTimings t = RunScenario(sc, nullptr);
+    table.AddRow({sc.label, StrFormat("%.3fs", t.grouping_seconds),
+                  StrFormat("%.3fs", t.division_seconds),
+                  StrFormat("%.3fs", t.ordering_seconds),
+                  StrFormat("%.3fs", t.assignment_seconds),
+                  StrFormat("%.3fs", t.total_seconds)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper): grouping is negligible, the Eq. (4)\n"
+      "division dominates and grows with scale, ordering and assignment\n"
+      "stay small; the whole run completes within one-two iterations.\n"
+      "(Absolute values differ from the paper's PuLP/Pyomo stack; the\n"
+      "1024-GPU division falls back to local search past the node budget,\n"
+      "mirroring how the paper bounds MINLP time.)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace malleus
+
+int main() {
+  std::printf("Malleus reproduction: Table 5 planner scalability\n\n");
+  malleus::bench::Run();
+  return 0;
+}

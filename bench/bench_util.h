@@ -1,0 +1,99 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+
+#ifndef MALLEUS_BENCH_BENCH_UTIL_H_
+#define MALLEUS_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/deepspeed.h"
+#include "baselines/malleus_adapter.h"
+#include "baselines/megatron.h"
+#include "baselines/oobleck.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "model/cost_model.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace bench {
+
+/// One evaluation workload of S7.1: a model plus the cluster that trains it
+/// (32B on 32 GPUs; 70B and 110B on 64 GPUs).
+struct Workload {
+  std::string label;
+  model::ModelSpec spec;
+  topo::ClusterSpec cluster;
+  int64_t global_batch = 64;
+};
+
+inline Workload Workload32B() {
+  return {"32B", model::ModelSpec::Llama32B(),
+          topo::ClusterSpec::A800Cluster(4), 64};
+}
+inline Workload Workload70B() {
+  return {"70B", model::ModelSpec::Llama70B(),
+          topo::ClusterSpec::A800Cluster(8), 64};
+}
+inline Workload Workload110B() {
+  return {"110B", model::ModelSpec::Llama110B(),
+          topo::ClusterSpec::A800Cluster(8), 64};
+}
+
+inline std::vector<Workload> AllWorkloads() {
+  return {Workload32B(), Workload70B(), Workload110B()};
+}
+
+/// The competitor set of Table 2, in the paper's row order.
+inline std::vector<std::unique_ptr<baselines::TrainingFramework>>
+MakeCompetitors(const topo::ClusterSpec& cluster,
+                const model::CostModel& cost) {
+  std::vector<std::unique_ptr<baselines::TrainingFramework>> out;
+  {
+    baselines::DeepSpeedOptions o;
+    out.push_back(
+        std::make_unique<baselines::DeepSpeedBaseline>(cluster, cost, o));
+  }
+  {
+    baselines::MegatronOptions o;
+    out.push_back(
+        std::make_unique<baselines::MegatronBaseline>(cluster, cost, o));
+  }
+  {
+    baselines::DeepSpeedOptions o;
+    o.with_restart = true;
+    o.restart_cost.framework_init_seconds = 40.0;
+    out.push_back(
+        std::make_unique<baselines::DeepSpeedBaseline>(cluster, cost, o));
+  }
+  {
+    baselines::MegatronOptions o;
+    o.with_restart = true;
+    out.push_back(
+        std::make_unique<baselines::MegatronBaseline>(cluster, cost, o));
+  }
+  out.push_back(std::make_unique<baselines::MalleusFramework>(cluster, cost));
+  return out;
+}
+
+/// "2.63x"-style improvement formatting.
+inline std::string Improvement(double baseline_seconds,
+                               double malleus_seconds) {
+  return StrFormat("%.2fx", baseline_seconds / malleus_seconds);
+}
+
+/// Geometric mean.
+inline double GeoMean(const std::vector<double>& values) {
+  MALLEUS_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / values.size());
+}
+
+}  // namespace bench
+}  // namespace malleus
+
+#endif  // MALLEUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+// Dynamic-straggler demo: run the full Malleus engine (profiler + planner +
+// executor) through the paper's Figure 7 trace on the 32B model and watch
+// it detect shifts, re-plan asynchronously, and migrate on the fly.
+//
+//   $ ./examples/dynamic_stragglers
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "model/cost_model.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+using namespace malleus;
+
+int main() {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(4);
+  const model::CostModel cost(model::ModelSpec::Llama32B(), cluster.gpu());
+
+  core::MalleusEngine engine(cluster, cost);
+  MALLEUS_CHECK_OK(engine.Initialize(/*global_batch=*/64));
+  std::printf("initial plan:\n%s\n", engine.current_plan().ToString().c_str());
+
+  for (const straggler::TracePhase& phase :
+       straggler::StandardTrace(/*steps_per_phase=*/6)) {
+    Result<straggler::Situation> truth =
+        straggler::Situation::Canonical(cluster, phase.id);
+    MALLEUS_CHECK_OK(truth.status());
+    std::printf("--- %s  (%s)\n", straggler::SituationName(phase.id),
+                truth->ToString().c_str());
+    for (int step = 0; step < phase.steps; ++step) {
+      Result<core::StepReport> r = engine.Step(*truth);
+      MALLEUS_CHECK_OK(r.status());
+      std::printf("  step %d: %.1f s", step, r->step_seconds);
+      if (r->replanned) {
+        std::printf("  [re-planned in %.2f s (overlapped)%s%s]",
+                    r->planning_seconds,
+                    r->migration_seconds > 0 ? ", migrated" : "",
+                    r->note.empty() ? "" : (", " + r->note).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nfinal plan:\n%s", engine.current_plan().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Failure handling demo (paper S5.1/S8): a GPU dies mid-training
+// (straggling rate = infinity), Malleus reloads the latest checkpoint onto
+// the remaining devices and continues; when the GPU comes back, the
+// standby micro-benchmarks notice and the planner re-includes it.
+//
+//   $ ./examples/elastic_failures
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "model/cost_model.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+using namespace malleus;
+
+namespace {
+
+void RunSteps(core::MalleusEngine& engine, const straggler::Situation& truth,
+              const char* phase, int steps) {
+  std::printf("--- %s\n", phase);
+  for (int i = 0; i < steps; ++i) {
+    Result<core::StepReport> r = engine.Step(truth);
+    MALLEUS_CHECK_OK(r.status());
+    std::printf("  step: %.1f s", r->step_seconds);
+    if (r->recovery_seconds > 0) {
+      std::printf("  [checkpoint reload %.0f s]", r->recovery_seconds);
+    }
+    if (r->replanned) std::printf("  [re-planned]");
+    if (!r->note.empty()) std::printf("  (%s)", r->note.c_str());
+    std::printf("  active GPUs: %zu\n",
+                engine.current_plan().ActiveGpus().size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(4);
+  const model::CostModel cost(model::ModelSpec::Llama32B(), cluster.gpu());
+
+  core::MalleusEngine engine(cluster, cost);
+  MALLEUS_CHECK_OK(engine.Initialize(/*global_batch=*/64));
+
+  straggler::Situation healthy(cluster.num_gpus());
+  RunSteps(engine, healthy, "all GPUs healthy", 3);
+
+  straggler::Situation failed(cluster.num_gpus());
+  failed.Fail(/*gpu=*/5);
+  RunSteps(engine, failed, "GPU 5 becomes unresponsive", 4);
+
+  RunSteps(engine, healthy, "GPU 5 recovers", 5);
+  return 0;
+}

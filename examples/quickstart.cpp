@@ -1,0 +1,65 @@
+// Quickstart: plan and simulate hybrid-parallel training of a LLaMA-2-70B
+// model on 8 x 8-GPU nodes, first healthy, then with a straggler.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the core public API: ClusterSpec -> CostModel -> Planner ->
+// plan inspection -> step simulation.
+
+#include <cstdio>
+
+#include "core/planner.h"
+#include "model/cost_model.h"
+#include "sim/pipeline_sim.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+using namespace malleus;
+
+int main() {
+  // 1. Describe the cluster (the paper's testbed: A800-80GB nodes).
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(8);
+  std::printf("cluster : %s\n", cluster.ToString().c_str());
+
+  // 2. Describe the model and build the profiled-equivalent cost model.
+  const model::CostModel cost(model::ModelSpec::Llama70B(), cluster.gpu());
+  std::printf("model   : %s\n\n", cost.spec().ToString().c_str());
+
+  // 3. Plan for a healthy cluster.
+  core::Planner planner(cluster, cost);
+  const straggler::Situation healthy(cluster.num_gpus());
+  Result<core::PlanResult> base = planner.Plan(healthy, /*global_batch=*/64);
+  MALLEUS_CHECK_OK(base.status());
+  std::printf("healthy plan (estimated %.1f s/step, planned in %.2f s):\n%s\n",
+              base->estimated_full_seconds, base->timings.total_seconds,
+              base->plan.ToString().c_str());
+
+  // 4. A level-1 straggler appears on GPU 0; re-plan with the DP degree
+  //    kept (the paper's footnote-2 policy).
+  straggler::Situation s1(cluster.num_gpus());
+  s1.SetLevel(/*gpu=*/0, /*level=*/1);
+  std::printf("straggler: %s\n", s1.ToString().c_str());
+  core::PlannerOptions opts;
+  opts.dp_degree = base->plan.dp_degree();
+  Result<core::PlanResult> adapted = planner.Plan(s1, 64, opts);
+  MALLEUS_CHECK_OK(adapted.status());
+  std::printf("adapted plan (estimated %.1f s/step):\n%s\n",
+              adapted->estimated_full_seconds,
+              adapted->plan.ToString().c_str());
+
+  // 5. Simulate one training step of each plan under the straggler.
+  Rng rng(0);
+  sim::SimOptions sim_opts;
+  Result<sim::StepResult> stale =
+      sim::SimulateStep(cluster, cost, base->plan, s1, sim_opts, &rng);
+  Result<sim::StepResult> fresh =
+      sim::SimulateStep(cluster, cost, adapted->plan, s1, sim_opts, &rng);
+  MALLEUS_CHECK_OK(stale.status());
+  MALLEUS_CHECK_OK(fresh.status());
+  std::printf("step time under the straggler:\n");
+  std::printf("  old (uniform) plan : %.1f s\n", stale->step_seconds);
+  std::printf("  Malleus plan       : %.1f s\n", fresh->step_seconds);
+  std::printf("  theoretic optimum  : %.1f s\n",
+              base->estimated_full_seconds * s1.TheoreticSlowdown());
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Scenario runner: drive Malleus (and optionally the baselines) through an
+// arbitrary straggler trace from the command line.
+//
+//   $ ./examples/scenario_cli --model=70b --nodes=8 --steps=6 \
+//         --trace=normal,s1,s4,normal --baselines
+//
+// Flags:
+//   --model=32b|70b|110b|tiny   model to train          (default 32b)
+//   --nodes=N                   8-GPU nodes             (default 4)
+//   --batch=B                   global batch size       (default 64)
+//   --steps=K                   steps per trace phase   (default 6)
+//   --trace=p1,p2,...           phases: normal,s1..s6   (default full trace)
+//   --seed=S                    simulator seed          (default 42)
+//   --baselines                 also run Megatron/DeepSpeed for comparison
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/deepspeed.h"
+#include "baselines/malleus_adapter.h"
+#include "baselines/megatron.h"
+#include "baselines/trace_runner.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+using namespace malleus;
+
+namespace {
+
+struct Args {
+  std::string model = "32b";
+  int nodes = 4;
+  int64_t batch = 64;
+  int steps = 6;
+  std::vector<std::string> trace;
+  uint64_t seed = 42;
+  bool baselines = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--model=")) {
+      out->model = v;
+    } else if (const char* v = value("--nodes=")) {
+      out->nodes = std::atoi(v);
+    } else if (const char* v = value("--batch=")) {
+      out->batch = std::atoll(v);
+    } else if (const char* v = value("--steps=")) {
+      out->steps = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      out->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--trace=")) {
+      std::string phase;
+      for (const char* c = v;; ++c) {
+        if (*c == ',' || *c == '\0') {
+          if (!phase.empty()) out->trace.push_back(phase);
+          phase.clear();
+          if (*c == '\0') break;
+        } else {
+          phase += *c;
+        }
+      }
+    } else if (arg == "--baselines") {
+      out->baselines = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<model::ModelSpec> SpecFor(const std::string& name) {
+  if (name == "32b") return model::ModelSpec::Llama32B();
+  if (name == "70b") return model::ModelSpec::Llama70B();
+  if (name == "110b") return model::ModelSpec::Llama110B();
+  if (name == "tiny") return model::ModelSpec::Tiny();
+  return Status::InvalidArgument("unknown model: " + name);
+}
+
+Result<straggler::SituationId> PhaseFor(const std::string& name) {
+  using straggler::SituationId;
+  if (name == "normal") return SituationId::kNormal;
+  if (name == "s1") return SituationId::kS1;
+  if (name == "s2") return SituationId::kS2;
+  if (name == "s3") return SituationId::kS3;
+  if (name == "s4") return SituationId::kS4;
+  if (name == "s5") return SituationId::kS5;
+  if (name == "s6") return SituationId::kS6;
+  return Status::InvalidArgument("unknown trace phase: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--model=32b|70b|110b|tiny] [--nodes=N] "
+                 "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
+                 "[--seed=S] [--baselines]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Result<model::ModelSpec> spec = SpecFor(args.model);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  if (args.nodes < 1 || args.batch < 1 || args.steps < 1) {
+    std::fprintf(stderr,
+                 "--nodes, --batch and --steps must all be >= 1\n");
+    return 2;
+  }
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(args.nodes);
+  const model::CostModel cost(*spec, cluster.gpu());
+
+  std::vector<straggler::TracePhase> trace;
+  if (args.trace.empty()) {
+    trace = straggler::StandardTrace(args.steps);
+  } else {
+    for (const std::string& name : args.trace) {
+      Result<straggler::SituationId> id = PhaseFor(name);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+        return 2;
+      }
+      trace.push_back({*id, args.steps});
+    }
+  }
+
+  std::printf("model   : %s\n", cost.spec().ToString().c_str());
+  std::printf("cluster : %s\n", cluster.ToString().c_str());
+  std::printf("batch   : %lld sequences/step\n\n",
+               static_cast<long long>(args.batch));
+
+  std::vector<std::unique_ptr<baselines::TrainingFramework>> frameworks;
+  core::EngineOptions eng;
+  eng.seed = args.seed;
+  frameworks.push_back(
+      std::make_unique<baselines::MalleusFramework>(cluster, cost, eng));
+  if (args.baselines) {
+    baselines::MegatronOptions mo;
+    mo.seed = args.seed;
+    frameworks.push_back(
+        std::make_unique<baselines::MegatronBaseline>(cluster, cost, mo));
+    baselines::DeepSpeedOptions dso;
+    dso.seed = args.seed;
+    frameworks.push_back(
+        std::make_unique<baselines::DeepSpeedBaseline>(cluster, cost, dso));
+  }
+
+  TablePrinter table("per-phase mean step seconds");
+  std::vector<std::string> header = {"Framework"};
+  for (const auto& phase : trace) {
+    header.push_back(straggler::SituationName(phase.id));
+  }
+  table.SetHeader(std::move(header));
+
+  for (auto& fw : frameworks) {
+    Result<std::vector<baselines::PhaseStats>> stats =
+        baselines::RunTrace(fw.get(), cluster, trace, args.batch);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", fw->name().c_str(),
+                   stats.status().ToString().c_str());
+      continue;
+    }
+    std::vector<std::string> row = {fw->name()};
+    for (const baselines::PhaseStats& p : *stats) {
+      std::string cell = StrFormat("%.1f", p.mean_step_seconds);
+      if (p.restart_seconds > 0) {
+        cell += StrFormat(" (+%.0fs restart)", p.restart_seconds);
+      } else if (p.migration_seconds > 0) {
+        cell += StrFormat(" (+%.1fs migr)", p.migration_seconds);
+      }
+      row.push_back(std::move(cell));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  return 0;
+}

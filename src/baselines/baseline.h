@@ -1,0 +1,58 @@
+// Common interface of the competitor frameworks evaluated against Malleus
+// (S7.1): Megatron-LM, DeepSpeed (both with and without restarts), and the
+// Oobleck-like fault-tolerant system. Each baseline is driven through the
+// same simulated trace as Malleus and reports per-step times plus any
+// transition overhead (restart or migration).
+
+#ifndef MALLEUS_BASELINES_BASELINE_H_
+#define MALLEUS_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/cost_model.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace baselines {
+
+/// What happened at a situation transition.
+struct TransitionReport {
+  /// Seconds lost to restarting (checkpoint save + init + load).
+  double restart_seconds = 0.0;
+  /// Seconds lost to live migration (Oobleck / Malleus style).
+  double migration_seconds = 0.0;
+  std::string description;
+};
+
+/// \brief A training framework under evaluation.
+///
+/// Protocol: Initialize() once, then for each phase of the trace call
+/// OnSituationChange() followed by StepSeconds() for each iteration.
+class TrainingFramework {
+ public:
+  virtual ~TrainingFramework() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prepares the initial configuration (no stragglers assumed).
+  virtual Status Initialize(int64_t global_batch) = 0;
+
+  /// Reacts to a change in the straggler situation. Frameworks that cannot
+  /// react return a zero-overhead report and simply keep running.
+  virtual Result<TransitionReport> OnSituationChange(
+      const straggler::Situation& situation) = 0;
+
+  /// Simulated wall time of one training step under `situation`.
+  virtual Result<double> StepSeconds(
+      const straggler::Situation& situation) = 0;
+};
+
+}  // namespace baselines
+}  // namespace malleus
+
+#endif  // MALLEUS_BASELINES_BASELINE_H_

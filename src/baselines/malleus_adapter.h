@@ -1,0 +1,55 @@
+// Adapts the Malleus engine to the TrainingFramework interface so it can be
+// driven through the same trace harness as the baselines. Unlike the
+// baselines, Malleus ignores the oracle situation handed to
+// OnSituationChange: it detects shifts itself through the profiler.
+
+#ifndef MALLEUS_BASELINES_MALLEUS_ADAPTER_H_
+#define MALLEUS_BASELINES_MALLEUS_ADAPTER_H_
+
+#include "baselines/baseline.h"
+#include "core/engine.h"
+
+namespace malleus {
+namespace baselines {
+
+class MalleusFramework : public TrainingFramework {
+ public:
+  MalleusFramework(const topo::ClusterSpec& cluster,
+                   const model::CostModel& cost,
+                   core::EngineOptions options = core::EngineOptions())
+      : engine_(cluster, cost, options) {}
+
+  std::string name() const override { return "Malleus"; }
+
+  Status Initialize(int64_t global_batch) override {
+    return engine_.Initialize(global_batch);
+  }
+
+  /// Malleus is self-detecting: the oracle change notice is ignored.
+  Result<TransitionReport> OnSituationChange(
+      const straggler::Situation& situation) override {
+    (void)situation;
+    TransitionReport report;
+    report.description = "self-detected via profiler";
+    return report;
+  }
+
+  Result<double> StepSeconds(const straggler::Situation& situation) override {
+    Result<core::StepReport> step = engine_.Step(situation);
+    if (!step.ok()) return step.status();
+    last_report_ = *step;
+    return step->TotalSeconds();
+  }
+
+  core::MalleusEngine& engine() { return engine_; }
+  const core::StepReport& last_report() const { return last_report_; }
+
+ private:
+  core::MalleusEngine engine_;
+  core::StepReport last_report_;
+};
+
+}  // namespace baselines
+}  // namespace malleus
+
+#endif  // MALLEUS_BASELINES_MALLEUS_ADAPTER_H_

@@ -1,0 +1,86 @@
+// Result<T>: value-or-Status, the library's StatusOr equivalent.
+
+#ifndef MALLEUS_COMMON_RESULT_H_
+#define MALLEUS_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace malleus {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   Result<Plan> r = planner.Plan(...);
+///   if (!r.ok()) return r.status();
+///   Plan plan = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success case).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK Status (the error case).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the Result must be ok().
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates the error of a Result expression, else assigns its value.
+#define MALLEUS_ASSIGN_OR_RETURN(lhs, expr)          \
+  MALLEUS_ASSIGN_OR_RETURN_IMPL(                     \
+      MALLEUS_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define MALLEUS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define MALLEUS_CONCAT_NAME_INNER(x, y) x##y
+#define MALLEUS_CONCAT_NAME(x, y) MALLEUS_CONCAT_NAME_INNER(x, y)
+
+}  // namespace malleus
+
+#endif  // MALLEUS_COMMON_RESULT_H_

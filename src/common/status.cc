@@ -1,0 +1,54 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace malleus {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+
+void DieOnStatus(const Status& st, const char* file, int line) {
+  std::fprintf(stderr, "MALLEUS_CHECK_OK failed at %s:%d: %s\n", file, line,
+               st.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace malleus

@@ -1,0 +1,134 @@
+// Status: lightweight error-handling type in the Arrow/RocksDB idiom.
+//
+// Functions that can fail return a Status (or a Result<T>, see result.h)
+// instead of throwing. Statuses carry a code and a human-readable message.
+
+#ifndef MALLEUS_COMMON_STATUS_H_
+#define MALLEUS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace malleus {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInfeasible,   ///< An optimization problem has no feasible solution.
+  kUnavailable,  ///< A device or resource is (possibly transiently) down.
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns the canonical name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: either OK or an error code plus message.
+///
+/// The class is cheap to copy in the OK case (no allocation) and is intended
+/// to be returned by value. Use the MALLEUS_RETURN_NOT_OK macro to propagate
+/// errors up the call stack.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// Renders as "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define MALLEUS_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::malleus::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Aborts the process if `expr` is not OK; for use in tests and examples.
+#define MALLEUS_CHECK_OK(expr)                                      \
+  do {                                                              \
+    ::malleus::Status _st = (expr);                                 \
+    if (!_st.ok()) {                                                \
+      ::malleus::internal::DieOnStatus(_st, __FILE__, __LINE__);    \
+    }                                                               \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void DieOnStatus(const Status& st, const char* file, int line);
+}  // namespace internal
+
+}  // namespace malleus
+
+#endif  // MALLEUS_COMMON_STATUS_H_

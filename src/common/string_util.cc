@@ -1,0 +1,64 @@
+#include "common/string_util.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace malleus {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  std::string s = StrFormat("%.*f", digits, v);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", v, kUnits[unit]);
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 0) return "-" + FormatSeconds(-seconds);
+  if (seconds < 1e-3) return StrFormat("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.1f ms", seconds * 1e3);
+  if (seconds < 120.0) return StrFormat("%.2f s", seconds);
+  return StrFormat("%.1f min", seconds / 60.0);
+}
+
+}  // namespace malleus

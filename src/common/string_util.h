@@ -1,0 +1,32 @@
+// String formatting helpers shared across modules.
+
+#ifndef MALLEUS_COMMON_STRING_UTIL_H_
+#define MALLEUS_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace malleus {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator, e.g. Join({"a","b"}, ",") == "a,b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Renders a double with `digits` decimals, trimming trailing zeros off
+/// integers ("2" not "2.00" when digits allows).
+std::string FormatDouble(double v, int digits = 2);
+
+/// Human-readable byte count, e.g. "1.50 GiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Human-readable duration from seconds, e.g. "1.25 s" or "320 ms".
+std::string FormatSeconds(double seconds);
+
+}  // namespace malleus
+
+#endif  // MALLEUS_COMMON_STRING_UTIL_H_

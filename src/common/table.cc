@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace malleus {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'x' &&
+               c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+std::string Pad(const std::string& s, size_t width, bool right_align) {
+  if (s.size() >= width) return s;
+  std::string pad(width - s.size(), ' ');
+  return right_align ? pad + s : s + pad;
+}
+
+}  // namespace
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = std::max(widths[c], header_[c].size());
+  }
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto hline = [&]() {
+    std::string s = "+";
+    for (size_t c = 0; c < ncols; ++c) {
+      s += std::string(widths[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      s += " " + Pad(cell, widths[c], LooksNumeric(cell)) + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += "== " + title_ + " ==\n";
+  out += hline();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += hline();
+  }
+  for (const auto& r : rows_) {
+    out += r.separator ? hline() : render_row(r.cells);
+  }
+  out += hline();
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace malleus

@@ -1,0 +1,48 @@
+// ASCII table printer used by the benchmark harnesses to emit paper-style
+// tables (Table 2, Table 3, ...).
+
+#ifndef MALLEUS_COMMON_TABLE_H_
+#define MALLEUS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace malleus {
+
+/// \brief Accumulates rows of cells and renders an aligned ASCII table.
+///
+/// Column widths are computed from content; numeric cells are right-aligned,
+/// everything else left-aligned.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator at the current position.
+  void AddSeparator();
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace malleus
+
+#endif  // MALLEUS_COMMON_TABLE_H_

@@ -1,0 +1,174 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/checkpoint.h"
+
+namespace malleus {
+namespace core {
+
+MalleusEngine::MalleusEngine(const topo::ClusterSpec& cluster,
+                             const model::CostModel& cost,
+                             EngineOptions options)
+    : cluster_(cluster),
+      cost_(cost),
+      options_(options),
+      planner_(cluster, cost),
+      executor_(cluster, cost),
+      rng_(options.seed) {
+  profiler_ = std::make_unique<Profiler>(cluster.num_gpus(),
+                                         options_.profiler);
+}
+
+Status MalleusEngine::Initialize(int64_t global_batch) {
+  global_batch_ = global_batch;
+  const straggler::Situation healthy(cluster_.num_gpus());
+  Result<PlanResult> initial =
+      planner_.Plan(healthy, global_batch, options_.planner);
+  MALLEUS_RETURN_NOT_OK(initial.status());
+  MALLEUS_RETURN_NOT_OK(executor_.Install(std::move(initial->plan)));
+  pinned_dp_ = executor_.current_plan().dp_degree();
+  profiler_->AcknowledgeShift();
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status MalleusEngine::InitializeWithPlan(plan::ParallelPlan p) {
+  global_batch_ = p.global_batch;
+  MALLEUS_RETURN_NOT_OK(executor_.Install(std::move(p)));
+  pinned_dp_ = executor_.current_plan().dp_degree();
+  profiler_->AcknowledgeShift();
+  initialized_ = true;
+  return Status::OK();
+}
+
+std::vector<topo::GpuId> MalleusEngine::InactiveGpus() const {
+  std::set<topo::GpuId> active;
+  for (topo::GpuId g : executor_.current_plan().ActiveGpus()) {
+    active.insert(g);
+  }
+  std::vector<topo::GpuId> out;
+  for (topo::GpuId g : cluster_.AllGpus()) {
+    if (active.count(g) == 0) out.push_back(g);
+  }
+  return out;
+}
+
+Result<PlanResult> MalleusEngine::Replan() {
+  PlannerOptions opts = options_.planner;
+  if (options_.keep_dp_degree && pinned_dp_ > 0) {
+    opts.dp_degree = pinned_dp_;
+  }
+  Result<PlanResult> planned =
+      planner_.Plan(profiler_->Estimated(), global_batch_, opts);
+  if (!planned.ok() && options_.keep_dp_degree) {
+    // The pinned DP degree can become infeasible (e.g. too few live
+    // groups); fall back to re-choosing it.
+    opts.dp_degree = 0;
+    planned = planner_.Plan(profiler_->Estimated(), global_batch_, opts);
+    if (planned.ok()) pinned_dp_ = planned->plan.dp_degree();
+  }
+  return planned;
+}
+
+Result<StepReport> MalleusEngine::RecoverFromFailure(
+    const straggler::Situation& truth) {
+  StepReport report;
+  for (topo::GpuId g : executor_.current_plan().ActiveGpus()) {
+    if (truth.IsFailed(g)) profiler_->MarkFailed(g);
+  }
+  Result<PlanResult> planned = Replan();
+  MALLEUS_RETURN_NOT_OK(planned.status());
+  report.planning_seconds = planned->timings.total_seconds;
+  // Failure halts training: planning is not overlapped here, and the model
+  // states are re-loaded from the latest checkpoint (S5.1).
+  report.planning_overflow_seconds = report.planning_seconds;
+  MALLEUS_RETURN_NOT_OK(executor_.Reload(std::move(planned->plan)));
+  // Each GPU of the new plan reads exactly the slices it will own.
+  Result<CheckpointIoPlan> load =
+      PlanCheckpointLoad(executor_.current_plan(), cost_);
+  MALLEUS_RETURN_NOT_OK(load.status());
+  CheckpointIoConfig io_config;
+  io_config.per_node_io_gbps = options_.restart_cost.per_node_io_gbps;
+  report.recovery_seconds = CheckpointIoSeconds(*load, cluster_, io_config);
+  report.replanned = true;
+  profiler_->AcknowledgeShift();
+
+  Result<sim::StepResult> step =
+      sim::SimulateStep(cluster_, cost_, executor_.current_plan(), truth,
+                        options_.sim, &rng_);
+  MALLEUS_RETURN_NOT_OK(step.status());
+  profiler_->RecordStep(step->measured_rates);
+  report.step_seconds = step->step_seconds;
+  report.note = "recovered from GPU failure via checkpoint reload";
+  return report;
+}
+
+Result<StepReport> MalleusEngine::Step(const straggler::Situation& truth) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("engine not initialized");
+  }
+  if (truth.num_gpus() != cluster_.num_gpus()) {
+    return Status::InvalidArgument("situation does not match cluster");
+  }
+
+  // Standby-device micro-benchmarks (S5.2): the engine periodically probes
+  // devices that are out of the training so they can be re-included.
+  for (topo::GpuId g : InactiveGpus()) {
+    if (truth.IsFailed(g)) {
+      profiler_->MarkFailed(g);
+    } else {
+      const double jitter = std::max(
+          0.5, 1.0 + rng_.Normal(0.0, options_.sim.timing_noise_stddev));
+      profiler_->RecordProbe(g, truth.rate(g) * jitter);
+    }
+  }
+
+  Result<sim::StepResult> step =
+      sim::SimulateStep(cluster_, cost_, executor_.current_plan(), truth,
+                        options_.sim, &rng_);
+  if (!step.ok()) {
+    if (step.status().IsUnavailable()) return RecoverFromFailure(truth);
+    return step.status();
+  }
+  profiler_->RecordStep(step->measured_rates);
+
+  StepReport report;
+  report.step_seconds = step->step_seconds;
+
+  if (profiler_->ShiftDetected()) {
+    Result<PlanResult> planned = Replan();
+    if (!planned.ok()) {
+      // Keep training with the current plan; try again on the next shift.
+      report.note = StrFormat("re-planning failed: %s",
+                              planned.status().ToString().c_str());
+      profiler_->AcknowledgeShift();
+      return report;
+    }
+    report.replanned = true;
+    report.planning_seconds = planned->timings.total_seconds;
+    // Asynchronous re-planning (S5.3): the search overlaps with training;
+    // only time beyond one step would stall the GPUs.
+    report.planning_overflow_seconds =
+        std::max(0.0, report.planning_seconds - report.step_seconds);
+    Result<MigrationReport> migrated =
+        executor_.Migrate(std::move(planned->plan));
+    MALLEUS_RETURN_NOT_OK(migrated.status());
+    if (!migrated->no_op) {
+      report.migration_seconds = migrated->seconds;
+      report.note = StrFormat("migrated %s in %d transfers",
+                              FormatBytes(static_cast<uint64_t>(
+                                  migrated->bytes)).c_str(),
+                              migrated->num_transfers);
+    } else {
+      report.note = "re-planned; plan unchanged";
+    }
+    profiler_->AcknowledgeShift();
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace malleus

@@ -1,0 +1,185 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace malleus {
+namespace core {
+
+namespace {
+
+// A node's GPUs sorted by straggling rate descending (Theorem 1 order).
+struct NodeState {
+  std::vector<topo::GpuId> gpus;   // Sorted by rate descending.
+  std::vector<double> rates;       // Parallel to gpus.
+  std::vector<int> sizes;          // Current contiguous block sizes.
+};
+
+// Capacity (sum 1/y) of placing `sizes` as contiguous blocks over the
+// sorted rates; the block's first element carries its maximum rate.
+double ArrangementCapacity(const model::CostModel& cost,
+                           const std::vector<double>& rates,
+                           const std::vector<int>& sizes) {
+  double capacity = 0.0;
+  size_t pos = 0;
+  for (int size : sizes) {
+    const double y = cost.Rho(size) * rates[pos];
+    capacity += 1.0 / y;
+    pos += size;
+  }
+  MALLEUS_CHECK_EQ(pos, rates.size());
+  return capacity;
+}
+
+// Best contiguous arrangement of the multiset `sizes`: tries every unique
+// permutation (Proposition 4 reduces the search to these) and returns the
+// capacity-maximizing order.
+std::pair<std::vector<int>, double> BestArrangement(
+    const model::CostModel& cost, const std::vector<double>& rates,
+    std::vector<int> sizes) {
+  std::sort(sizes.begin(), sizes.end());
+  std::vector<int> best = sizes;
+  double best_cap = -1.0;
+  do {
+    const double cap = ArrangementCapacity(cost, rates, sizes);
+    if (cap > best_cap) {
+      best_cap = cap;
+      best = sizes;
+    }
+  } while (std::next_permutation(sizes.begin(), sizes.end()));
+  return {best, best_cap};
+}
+
+}  // namespace
+
+std::vector<int> PowerOfTwoComposition(int n, int max_size) {
+  MALLEUS_CHECK_GE(n, 0);
+  MALLEUS_CHECK(model::IsValidTpDegree(max_size));
+  std::vector<int> sizes;
+  int remaining = n;
+  int size = max_size;
+  while (remaining > 0) {
+    while (size > remaining) size /= 2;
+    sizes.push_back(size);
+    remaining -= size;
+  }
+  return sizes;
+}
+
+double GroupingResult::Capacity() const {
+  double capacity = 0.0;
+  for (double y : rates) capacity += 1.0 / y;
+  return capacity;
+}
+
+Result<GroupingResult> GroupGpus(const topo::ClusterSpec& cluster,
+                                 const model::CostModel& cost,
+                                 const straggler::Situation& situation,
+                                 const GroupingOptions& options) {
+  if (!model::IsValidTpDegree(options.max_tp_degree)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid max TP degree %d", options.max_tp_degree));
+  }
+  if (options.max_tp_degree > cluster.gpus_per_node()) {
+    return Status::InvalidArgument("TP degree exceeds node size");
+  }
+  if (situation.num_gpus() != cluster.num_gpus()) {
+    return Status::InvalidArgument("situation does not match cluster");
+  }
+  const int k = options.max_tp_degree;
+
+  GroupingResult result;
+  for (topo::NodeId node = 0; node < cluster.num_nodes(); ++node) {
+    NodeState st;
+    for (topo::GpuId g : cluster.GpusOnNode(node)) {
+      if (situation.IsFailed(g)) {
+        result.excluded.push_back(g);
+      } else {
+        st.gpus.push_back(g);
+      }
+    }
+    if (st.gpus.empty()) continue;
+
+    // Theorem 1: descending-rate order; ties broken by id for determinism.
+    std::sort(st.gpus.begin(), st.gpus.end(),
+              [&](topo::GpuId a, topo::GpuId b) {
+                const double ra = situation.rate(a), rb = situation.rate(b);
+                if (ra != rb) return ra > rb;
+                return a < b;
+              });
+    st.rates.reserve(st.gpus.size());
+    for (topo::GpuId g : st.gpus) st.rates.push_back(situation.rate(g));
+
+    // Initial partition: blocks of k if the live count divides, otherwise
+    // the best placement of the power-of-two composition (needed after
+    // failures leave a ragged count).
+    const int live = static_cast<int>(st.gpus.size());
+    std::vector<int> sizes;
+    if (live % k == 0) {
+      sizes.assign(live / k, k);
+    } else {
+      sizes = PowerOfTwoComposition(live, k);
+      sizes = BestArrangement(cost, st.rates, sizes).first;
+    }
+    double capacity = ArrangementCapacity(cost, st.rates, sizes);
+
+    // Group splitting: consider isolating stragglers, heaviest first.
+    if (options.enable_splitting && k > 1) {
+      for (int idx = 0; idx < live; ++idx) {
+        if (st.rates[idx] <= options.split_rate_threshold) break;
+        // Find the block currently containing position idx.
+        int block = 0, pos = 0;
+        while (pos + sizes[block] <= idx) {
+          pos += sizes[block];
+          ++block;
+        }
+        if (sizes[block] == 1) continue;  // Already isolated.
+        // New multiset: replace the block by {1} + composition(size - 1).
+        std::vector<int> candidate_sizes;
+        for (int b2 = 0; b2 < static_cast<int>(sizes.size()); ++b2) {
+          if (b2 == block) continue;
+          candidate_sizes.push_back(sizes[b2]);
+        }
+        candidate_sizes.push_back(1);
+        const std::vector<int> rest =
+            PowerOfTwoComposition(sizes[block] - 1, k);
+        candidate_sizes.insert(candidate_sizes.end(), rest.begin(),
+                               rest.end());
+        auto [arranged, cap] =
+            BestArrangement(cost, st.rates, candidate_sizes);
+        // Theorem 2: adopt the split only if it strictly improves the
+        // estimated capacity (i.e. lowers the relaxed optimal time).
+        if (cap > capacity * (1.0 + 1e-12)) {
+          sizes = arranged;
+          capacity = cap;
+        }
+      }
+    }
+
+    // Materialize the blocks as TP groups.
+    size_t pos = 0;
+    for (int size : sizes) {
+      plan::TpGroup group;
+      std::vector<double> xs;
+      for (int i = 0; i < size; ++i) {
+        group.gpus.push_back(st.gpus[pos + i]);
+        xs.push_back(st.rates[pos + i]);
+      }
+      pos += size;
+      result.rates.push_back(cost.GroupRate(xs));
+      result.groups.push_back(std::move(group));
+    }
+  }
+
+  if (result.groups.empty()) {
+    return Status::Unavailable("no live GPUs to group");
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace malleus

@@ -1,0 +1,55 @@
+// On-the-fly model migration (paper S5.1): when the plan changes, locate
+// the source and destination of every model-state slice, fuse the moves
+// into batched send-recv transfers, and pack multiple layers per batch.
+
+#ifndef MALLEUS_CORE_MIGRATION_H_
+#define MALLEUS_CORE_MIGRATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "model/cost_model.h"
+#include "plan/plan.h"
+#include "sim/collective.h"
+
+namespace malleus {
+namespace core {
+
+/// Number of layers fused into one batched-send-recv (paper default: 4).
+inline constexpr int kLayersPerMigrationPack = 4;
+
+struct MigrationPlan {
+  /// Fused transfers, one per (src, dst) GPU pair.
+  std::vector<sim::Transfer> transfers;
+  double total_bytes = 0.0;
+  /// Number of batched-send-recv rounds (ceil(L / 4)).
+  int num_packs = 0;
+};
+
+/// Computes the slice moves that turn `from`'s state placement into `to`'s.
+///
+/// Weights (bf16, replicated per pipeline) follow the TP interval ownership
+/// of each replica; ZeRO-1 optimizer shards (12 bytes/param split across
+/// DP) follow the same intervals scaled by 1/DP. New replicas (DP growth)
+/// source from replica (i mod DP_old).
+///
+/// Known model limitations (conservative / approximate, by design):
+/// replicas are matched by index, so a pure permutation of identical
+/// pipelines is charged as a real move (the planner emits pipelines in a
+/// deterministic order, so this only overcharges across re-planning with
+/// reshuffled groups); and optimizer re-partitioning on a DP-degree change
+/// is only charged along weight-interval diffs, which under-counts the
+/// shard reshuffle when intervals happen to match. DP changes are rare
+/// (the engine pins the DP degree per the paper's footnote 2).
+Result<MigrationPlan> ComputeMigration(const plan::ParallelPlan& from,
+                                       const plan::ParallelPlan& to,
+                                       const model::CostModel& cost);
+
+/// Wall time of executing the migration over the interconnect.
+double MigrationSeconds(const MigrationPlan& migration,
+                        const topo::ClusterSpec& cluster);
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_MIGRATION_H_

@@ -1,0 +1,80 @@
+// The Malleus parallelization planner (paper S4): given the live straggling
+// rates, deduce the plan that minimizes the estimated step time by
+// enumerating the maximum TP degree in {1,2,4,8} and the micro-batch size,
+// solving the upper-level problem (grouping + orchestration) and the
+// lower-level problem (layer + data assignment) for each candidate.
+
+#ifndef MALLEUS_CORE_PLANNER_H_
+#define MALLEUS_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/grouping.h"
+#include "core/orchestration.h"
+#include "model/cost_model.h"
+#include "plan/plan.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace core {
+
+struct PlannerOptions {
+  /// Number of pipelines. 0 enumerates candidates (footnote 2 of the paper:
+  /// the DP degree is normally maintained across re-planning because model
+  /// state memory depends on it; pass the current value when re-planning).
+  int dp_degree = 0;
+  /// Micro-batch sizes b in [1, max_micro_batch] dividing B are enumerated.
+  int max_micro_batch = 4;
+  /// Feature flags for the Figure 9 ablation.
+  bool nonuniform_devices = true;  ///< Grouping splits + varied stage counts.
+  bool nonuniform_layers = true;   ///< Eq. (2) vs even layer split.
+  bool nonuniform_data = true;     ///< Eq. (3) vs even data split.
+  /// Node budget for the Eq. (4) division search per candidate.
+  int64_t max_division_nodes = 500'000;
+};
+
+/// Wall-time breakdown of one planning run (Appendix A.2 / Table 5).
+struct PlannerTimings {
+  double grouping_seconds = 0.0;
+  double division_seconds = 0.0;
+  double ordering_seconds = 0.0;
+  double assignment_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct PlanResult {
+  plan::ParallelPlan plan;
+  /// Eq. (1) objective: max_i m_i * max_j y_{i,j} l_{i,j} * tau(b) - the
+  /// planner's estimated step time (R_est).
+  double estimated_seconds = 0.0;
+  /// The full (warm-up + 1F1B + cool-down) closed-form estimate.
+  double estimated_full_seconds = 0.0;
+  int chosen_tp = 0;
+  PlannerTimings timings;
+};
+
+/// \brief Deduces the best parallelization plan for the situation.
+class Planner {
+ public:
+  Planner(const topo::ClusterSpec& cluster, const model::CostModel& cost)
+      : cluster_(cluster), cost_(cost) {}
+
+  /// Plans a global batch of `global_batch` sequences under `situation`.
+  Result<PlanResult> Plan(const straggler::Situation& situation,
+                          int64_t global_batch,
+                          const PlannerOptions& options = PlannerOptions())
+      const;
+
+ private:
+  const topo::ClusterSpec& cluster_;
+  const model::CostModel& cost_;
+};
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_PLANNER_H_

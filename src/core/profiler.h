@@ -1,0 +1,82 @@
+// The profiler (paper S3.2, S5.2): turns per-GPU timing measurements into
+// straggling-rate estimates, detects shifts greater than 5% between
+// consecutive estimates, tracks failures, and keeps probing standby devices
+// so they can be re-included when they recover.
+
+#ifndef MALLEUS_CORE_PROFILER_H_
+#define MALLEUS_CORE_PROFILER_H_
+
+#include <vector>
+
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace core {
+
+struct ProfilerOptions {
+  /// Relative change between two consecutive per-GPU estimates that counts
+  /// as "an obvious shift in the straggling situation" (paper: 5%).
+  double shift_threshold = 0.05;
+  /// Exponential smoothing factor for new measurements. The default of 1
+  /// (no smoothing) matches the paper's consecutive-iteration comparison;
+  /// the healthy band below absorbs kernel jitter instead.
+  double ema_alpha = 1.0;
+  /// Estimates within this relative distance of 1.0 snap to exactly 1.0,
+  /// so kernel jitter does not masquerade as a straggler.
+  double healthy_band = 0.03;
+  /// Straggler estimates are quantized onto a log-scale grid of this
+  /// relative pitch. Equally-impaired GPUs then report *identical* rates,
+  /// which both stabilizes shift detection under kernel jitter and
+  /// preserves the planner's "majority share the same y-hat" structure
+  /// (Eq. (4) collapses identical groups; see S4.3.2).
+  double rate_quantum = 0.04;
+};
+
+/// \brief Online estimator of per-GPU straggling rates.
+///
+/// Measurements arrive normalized to "kernel time relative to nominal"
+/// (what CUDA-event timing divided by the profiled healthy time gives);
+/// the profiler re-normalizes by the median so a fleet-wide drift does not
+/// read as universal straggling, smooths with an EMA, and snaps healthy
+/// devices to exactly 1.0.
+class Profiler {
+ public:
+  Profiler(int num_gpus, ProfilerOptions options = ProfilerOptions());
+
+  /// Records one training step's measurements; entries <= 0 mean "no
+  /// measurement for this GPU this step" (idle or standby).
+  void RecordStep(const std::vector<double>& measured_rates);
+
+  /// Records a standby-device micro-benchmark (S5.2 elastic scaling).
+  void RecordProbe(topo::GpuId gpu, double measured_rate);
+
+  /// Marks a device unresponsive (straggling rate = infinity).
+  void MarkFailed(topo::GpuId gpu);
+
+  /// Clears the failed flag once the device answers probes again.
+  void MarkRecovered(topo::GpuId gpu);
+
+  /// The current best estimate of the straggler situation.
+  const straggler::Situation& Estimated() const { return estimate_; }
+
+  /// True iff any GPU's estimate moved more than the shift threshold since
+  /// the last AcknowledgeShift() (i.e. since the last re-planning).
+  bool ShiftDetected() const;
+
+  /// Accepts the current estimate as the new planning baseline.
+  void AcknowledgeShift();
+
+ private:
+  void Update(topo::GpuId gpu, double normalized);
+
+  ProfilerOptions options_;
+  straggler::Situation estimate_;
+  straggler::Situation acknowledged_;
+  std::vector<bool> has_sample_;
+};
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_PROFILER_H_

@@ -1,0 +1,53 @@
+#include "core/run_log.h"
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace core {
+
+void RunLog::Record(const std::string& phase, const StepReport& report) {
+  entries_.push_back({phase, report});
+}
+
+RunLog::Summary RunLog::Summarize() const {
+  Summary s;
+  for (const Entry& e : entries_) {
+    ++s.steps;
+    if (e.report.replanned) ++s.replans;
+    if (e.report.recovery_seconds > 0) ++s.recoveries;
+    s.training_seconds += e.report.step_seconds;
+    s.migration_seconds += e.report.migration_seconds;
+    s.recovery_seconds += e.report.recovery_seconds;
+    s.planning_overflow_seconds += e.report.planning_overflow_seconds;
+  }
+  return s;
+}
+
+double RunLog::PhaseMeanSeconds(const std::string& phase) const {
+  double sum = 0.0;
+  int count = 0;
+  for (const Entry& e : entries_) {
+    if (e.phase == phase) {
+      sum += e.report.step_seconds;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::string RunLog::ToCsv() const {
+  std::string out =
+      "step,phase,step_seconds,migration_seconds,recovery_seconds,"
+      "planning_seconds,replanned\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += StrFormat("%zu,%s,%.4f,%.4f,%.4f,%.4f,%d\n", i, e.phase.c_str(),
+                     e.report.step_seconds, e.report.migration_seconds,
+                     e.report.recovery_seconds, e.report.planning_seconds,
+                     e.report.replanned ? 1 : 0);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace malleus

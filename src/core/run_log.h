@@ -1,0 +1,64 @@
+// Run telemetry: a structured record of an engine run (per-step times,
+// re-planning and migration events, failures), with CSV export for the
+// Figure-7-style series and an aggregate summary.
+
+#ifndef MALLEUS_CORE_RUN_LOG_H_
+#define MALLEUS_CORE_RUN_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace malleus {
+namespace core {
+
+/// \brief Accumulates StepReports with phase labels.
+class RunLog {
+ public:
+  /// Appends one step's outcome under a phase label (e.g. "S3").
+  void Record(const std::string& phase, const StepReport& report);
+
+  int num_steps() const { return static_cast<int>(entries_.size()); }
+
+  /// Aggregates of the recorded run.
+  struct Summary {
+    int steps = 0;
+    int replans = 0;
+    int recoveries = 0;
+    double training_seconds = 0.0;
+    double migration_seconds = 0.0;
+    double recovery_seconds = 0.0;
+    double planning_overflow_seconds = 0.0;
+    /// Everything the run spent, transitions included.
+    double TotalSeconds() const {
+      return training_seconds + migration_seconds + recovery_seconds +
+             planning_overflow_seconds;
+    }
+    /// Fraction of wall time spent training (vs transition overheads).
+    double Efficiency() const {
+      const double total = TotalSeconds();
+      return total > 0 ? training_seconds / total : 1.0;
+    }
+  };
+  Summary Summarize() const;
+
+  /// Mean step_seconds over the steps recorded for `phase`.
+  double PhaseMeanSeconds(const std::string& phase) const;
+
+  /// CSV with header: step,phase,step_seconds,migration_seconds,
+  /// recovery_seconds,planning_seconds,replanned.
+  std::string ToCsv() const;
+
+ private:
+  struct Entry {
+    std::string phase;
+    StepReport report;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_RUN_LOG_H_

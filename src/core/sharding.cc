@@ -1,0 +1,99 @@
+#include "core/sharding.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace core {
+
+namespace {
+
+// Finds the stage of `pipeline` hosting `layer`; returns -1 if none.
+int StageOfLayer(const plan::Pipeline& pipeline, int layer) {
+  int offset = 0;
+  for (size_t j = 0; j < pipeline.stages.size(); ++j) {
+    const int next = offset + pipeline.stages[j].num_layers;
+    if (layer >= offset && layer < next) return static_cast<int>(j);
+    offset = next;
+  }
+  return -1;
+}
+
+int MaxTpDegreeForLayer(const plan::ParallelPlan& p, int layer) {
+  int tp_max = 0;
+  for (const plan::Pipeline& pipe : p.pipelines) {
+    const int j = StageOfLayer(pipe, layer);
+    if (j >= 0) tp_max = std::max(tp_max, pipe.stages[j].group.size());
+  }
+  return tp_max;
+}
+
+}  // namespace
+
+Result<std::vector<OwnedInterval>> LayerWeightOwners(
+    const plan::ParallelPlan& p, int pipeline_index, int layer) {
+  if (pipeline_index < 0 || pipeline_index >= p.dp_degree()) {
+    return Status::InvalidArgument("pipeline index out of range");
+  }
+  const plan::Pipeline& pipe = p.pipelines[pipeline_index];
+  const int j = StageOfLayer(pipe, layer);
+  if (j < 0) {
+    return Status::InvalidArgument(
+        StrFormat("layer %d not hosted by pipeline %d", layer,
+                  pipeline_index));
+  }
+  const plan::TpGroup& group = pipe.stages[j].group;
+  const int n = group.size();
+  std::vector<OwnedInterval> out;
+  out.reserve(n);
+  for (int q = 0; q < n; ++q) {
+    out.push_back({group.gpus[q], static_cast<double>(q) / n,
+                   static_cast<double>(q + 1) / n});
+  }
+  return out;
+}
+
+int SliceCountForGpu(const plan::ParallelPlan& p, topo::GpuId gpu,
+                     int layer) {
+  const int tp_max = MaxTpDegreeForLayer(p, layer);
+  for (const plan::Pipeline& pipe : p.pipelines) {
+    const int j = StageOfLayer(pipe, layer);
+    if (j < 0) continue;
+    const plan::TpGroup& group = pipe.stages[j].group;
+    for (topo::GpuId g : group.gpus) {
+      if (g == gpu) return tp_max / group.size();
+    }
+  }
+  return 0;
+}
+
+std::vector<std::pair<int, int>> CollectiveCallOrder(
+    const plan::ParallelPlan& p, topo::GpuId gpu) {
+  std::vector<std::pair<int, int>> calls;
+  const int num_layers = p.pipelines.empty()
+                             ? 0
+                             : p.pipelines[0].TotalLayers();
+  for (int layer = 0; layer < num_layers; ++layer) {
+    const int tp_max = MaxTpDegreeForLayer(p, layer);
+    for (const plan::Pipeline& pipe : p.pipelines) {
+      const int j = StageOfLayer(pipe, layer);
+      if (j < 0) continue;
+      const plan::TpGroup& group = pipe.stages[j].group;
+      const int n = group.size();
+      for (int q = 0; q < n; ++q) {
+        if (group.gpus[q] != gpu) continue;
+        // GPU q owns slice indices [q*tp_max/n, (q+1)*tp_max/n), issued in
+        // ascending order - identical across all participants of the ring.
+        const int per = tp_max / n;
+        for (int s = q * per; s < (q + 1) * per; ++s) {
+          calls.push_back({layer, s});
+        }
+      }
+    }
+  }
+  return calls;
+}
+
+}  // namespace core
+}  // namespace malleus

@@ -1,0 +1,151 @@
+#include "core/work_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "solver/minmax.h"
+
+namespace malleus {
+namespace core {
+
+std::vector<int64_t> StageLayerCapacities(const std::vector<int>& stage_sizes,
+                                          int micro_batch, int dp_degree,
+                                          const model::CostModel& cost) {
+  const int pp = static_cast<int>(stage_sizes.size());
+  std::vector<int64_t> caps(pp, 0);
+  for (int j = 0; j < pp; ++j) {
+    const double mu = cost.MuBytes(micro_batch, j + 1, pp, dp_degree);
+    const double nu = cost.NuBytes(micro_batch, j + 1, pp, dp_degree);
+    const double capacity = cost.GroupCapacityBytes(stage_sizes[j]);
+    const double room = capacity - nu;
+    caps[j] = room <= 0 ? 0 : static_cast<int64_t>(std::floor(room / mu));
+  }
+  return caps;
+}
+
+Result<LayerAssignment> AssignLayers(const std::vector<double>& stage_rates,
+                                     const std::vector<int>& stage_sizes,
+                                     int micro_batch, int dp_degree,
+                                     const model::CostModel& cost,
+                                     bool nonuniform) {
+  const int pp = static_cast<int>(stage_rates.size());
+  if (pp == 0) return Status::InvalidArgument("pipeline has no stages");
+  if (stage_sizes.size() != stage_rates.size()) {
+    return Status::InvalidArgument("rates/sizes arity mismatch");
+  }
+  const int L = cost.spec().num_layers;
+  const std::vector<int64_t> caps =
+      StageLayerCapacities(stage_sizes, micro_batch, dp_degree, cost);
+
+  LayerAssignment out;
+  out.layers.assign(pp, 0);
+
+  if (!nonuniform) {
+    // Megatron-style even split; remainder to the later stages.
+    const int base = L / pp;
+    const int rem = L % pp;
+    for (int j = 0; j < pp; ++j) {
+      out.layers[j] = base + (j >= pp - rem ? 1 : 0);
+      if (out.layers[j] > caps[j]) {
+        return Status::Infeasible(
+            StrFormat("even split exceeds stage %d capacity", j));
+      }
+      out.bottleneck =
+          std::max(out.bottleneck, stage_rates[j] * out.layers[j]);
+    }
+    return out;
+  }
+
+  Result<solver::BottleneckSolution> sol =
+      solver::SolveBottleneckAllocation(stage_rates, caps, L);
+  if (!sol.ok()) return sol.status();
+  for (int j = 0; j < pp; ++j) {
+    out.layers[j] = static_cast<int>(sol->amounts[j]);
+  }
+  out.bottleneck = sol->bottleneck;
+  return out;
+}
+
+Result<std::vector<int64_t>> AssignData(
+    const std::vector<double>& pipeline_bottlenecks, int64_t total_micro,
+    bool nonuniform) {
+  const int dp = static_cast<int>(pipeline_bottlenecks.size());
+  if (dp == 0) return Status::InvalidArgument("no pipelines");
+  if (total_micro < dp) {
+    return Status::Infeasible("fewer micro-batches than pipelines");
+  }
+  for (double o : pipeline_bottlenecks) {
+    if (!(o > 0) || !std::isfinite(o)) {
+      return Status::InvalidArgument("pipeline bottlenecks must be finite");
+    }
+  }
+
+  if (!nonuniform) {
+    std::vector<int64_t> m(dp, total_micro / dp);
+    for (int64_t r = 0; r < total_micro % dp; ++r) ++m[r];
+    return m;
+  }
+
+  // Parametric search with the m_i >= 1 lower bound: a threshold t is
+  // feasible iff t >= max_i o_i (so every pipeline affords one micro-batch)
+  // and sum_i floor(t / o_i) >= total.
+  const double o_max =
+      *std::max_element(pipeline_bottlenecks.begin(),
+                        pipeline_bottlenecks.end());
+  auto units_at = [&](double t) {
+    int64_t total = 0;
+    for (double o : pipeline_bottlenecks) {
+      total += static_cast<int64_t>(std::floor(t / o + 1e-9));
+    }
+    return total;
+  };
+  double lo = o_max, hi = o_max * static_cast<double>(total_micro);
+  if (units_at(lo) >= total_micro) {
+    hi = lo;
+  } else {
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (units_at(mid) >= total_micro) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  const double t = hi;
+
+  std::vector<int64_t> m(dp);
+  int64_t assigned = 0;
+  for (int i = 0; i < dp; ++i) {
+    m[i] = std::max<int64_t>(
+        1, static_cast<int64_t>(std::floor(t / pipeline_bottlenecks[i] + 1e-9)));
+    assigned += m[i];
+  }
+  // Trim the excess from the most loaded pipelines (largest o * m) while
+  // respecting the >= 1 bound.
+  while (assigned > total_micro) {
+    int argmax = -1;
+    double worst = -1.0;
+    for (int i = 0; i < dp; ++i) {
+      if (m[i] <= 1) continue;
+      const double load = pipeline_bottlenecks[i] * m[i];
+      if (load > worst) {
+        worst = load;
+        argmax = i;
+      }
+    }
+    if (argmax < 0) break;  // Everyone at the lower bound already.
+    --m[argmax];
+    --assigned;
+  }
+  if (assigned != total_micro) {
+    return Status::Infeasible("cannot satisfy per-pipeline minimum load");
+  }
+  return m;
+}
+
+}  // namespace core
+}  // namespace malleus

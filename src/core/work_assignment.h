@@ -1,0 +1,52 @@
+// The lower-level problem (paper S4.2): joint layer + data assignment.
+//
+// Eq. (1) decomposes exactly (Appendix B.5) into one layer-assignment ILP
+// per pipeline (Eq. (2)) and one data-assignment ILP across pipelines
+// (Eq. (3)); both are bottleneck allocations solved exactly by
+// solver/minmax.h. Memory capacities come from the Appendix B.4 cost model.
+
+#ifndef MALLEUS_CORE_WORK_ASSIGNMENT_H_
+#define MALLEUS_CORE_WORK_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "model/cost_model.h"
+
+namespace malleus {
+namespace core {
+
+/// Solution of Eq. (2) for one pipeline.
+struct LayerAssignment {
+  std::vector<int> layers;   ///< l_{i,j} per stage.
+  double bottleneck = 0.0;   ///< o_i = max_j y_j * l_j (tau excluded).
+};
+
+/// Maximum layers stage j can host: floor((k_j * usable - nu_j) / mu_j),
+/// per Appendix B.4. `stage_sizes` are the TP group sizes k_{i,j}.
+std::vector<int64_t> StageLayerCapacities(const std::vector<int>& stage_sizes,
+                                          int micro_batch, int dp_degree,
+                                          const model::CostModel& cost);
+
+/// Solves Eq. (2): min max_j y_j * l_j s.t. sum l_j = L and memory caps.
+/// With `nonuniform` false, layers are split evenly (remainder to the later
+/// stages) and only checked against the caps - the Megatron-style baseline
+/// used in the Figure 9 ablation.
+Result<LayerAssignment> AssignLayers(const std::vector<double>& stage_rates,
+                                     const std::vector<int>& stage_sizes,
+                                     int micro_batch, int dp_degree,
+                                     const model::CostModel& cost,
+                                     bool nonuniform = true);
+
+/// Solves Eq. (3): min max_i o_i * m_i s.t. sum m_i = total and m_i >= 1
+/// (every orchestrated pipeline must carry data). With `nonuniform` false
+/// the micro-batches are split evenly.
+Result<std::vector<int64_t>> AssignData(
+    const std::vector<double>& pipeline_bottlenecks, int64_t total_micro,
+    bool nonuniform = true);
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_WORK_ASSIGNMENT_H_

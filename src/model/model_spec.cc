@@ -1,0 +1,118 @@
+#include "model/model_spec.h"
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace model {
+
+uint64_t ModelSpec::ParamsPerLayer() const {
+  const uint64_t h = hidden_size;
+  const uint64_t f = ffn_hidden_size;
+  const uint64_t head_dim = h / num_heads;
+  // Attention: Q and O are h x h; K and V are h x (kv_heads * head_dim).
+  const uint64_t attn = 2 * h * h + 2 * h * (num_kv_heads * head_dim);
+  // SwiGLU MLP: gate, up (h x f each) and down (f x h).
+  const uint64_t mlp = 3 * h * f;
+  // Two RMSNorm weight vectors.
+  const uint64_t norms = 2 * h;
+  return attn + mlp + norms;
+}
+
+uint64_t ModelSpec::EmbeddingParams() const {
+  // Untied input embedding + LM head.
+  return 2ULL * vocab_size * hidden_size;
+}
+
+uint64_t ModelSpec::TotalParams() const {
+  return static_cast<uint64_t>(num_layers) * ParamsPerLayer() +
+         EmbeddingParams();
+}
+
+double ModelSpec::TrainFlopsPerLayer(int micro_batch_size) const {
+  const double tokens = static_cast<double>(micro_batch_size) * seq_len;
+  // Matmuls: 2 FLOPs per parameter per token forward; backward costs 2x
+  // forward, so 6 per parameter per token in total.
+  const double matmul = 6.0 * static_cast<double>(ParamsPerLayer()) * tokens;
+  // Attention scores (QK^T and AV): 4*s*h FLOPs per token forward (causal
+  // masking halves it), tripled for forward+backward.
+  const double attn =
+      3.0 * 2.0 * static_cast<double>(seq_len) * hidden_size * tokens;
+  return matmul + attn;
+}
+
+double ModelSpec::TrainFlopsPerMicroBatch(int micro_batch_size) const {
+  const double tokens = static_cast<double>(micro_batch_size) * seq_len;
+  const double lm_head =
+      6.0 * static_cast<double>(vocab_size) * hidden_size * tokens;
+  return num_layers * TrainFlopsPerLayer(micro_batch_size) + lm_head;
+}
+
+Status ModelSpec::Validate() const {
+  if (num_layers <= 0 || hidden_size <= 0 || ffn_hidden_size <= 0 ||
+      num_heads <= 0 || num_kv_heads <= 0 || vocab_size <= 0 ||
+      seq_len <= 0) {
+    return Status::InvalidArgument("model dimensions must be positive");
+  }
+  if (hidden_size % num_heads != 0) {
+    return Status::InvalidArgument("hidden_size must divide by num_heads");
+  }
+  if (num_heads % num_kv_heads != 0) {
+    return Status::InvalidArgument("num_heads must divide by num_kv_heads");
+  }
+  return Status::OK();
+}
+
+std::string ModelSpec::ToString() const {
+  return StrFormat("%s(L=%d, h=%d, ffn=%d, heads=%d/%d, seq=%d, %.1fB params)",
+                   name.c_str(), num_layers, hidden_size, ffn_hidden_size,
+                   num_heads, num_kv_heads, seq_len,
+                   static_cast<double>(TotalParams()) / 1e9);
+}
+
+ModelSpec ModelSpec::Llama32B() {
+  ModelSpec m;
+  m.name = "llama-32b";
+  m.num_layers = 60;
+  m.hidden_size = 6656;
+  m.ffn_hidden_size = 17920;
+  m.num_heads = 52;
+  m.num_kv_heads = 52;
+  return m;
+}
+
+ModelSpec ModelSpec::Llama70B() {
+  ModelSpec m;
+  m.name = "llama-70b";
+  m.num_layers = 80;
+  m.hidden_size = 8192;
+  m.ffn_hidden_size = 28672;
+  m.num_heads = 64;
+  m.num_kv_heads = 8;
+  return m;
+}
+
+ModelSpec ModelSpec::Llama110B() {
+  ModelSpec m;
+  m.name = "llama-110b";
+  m.num_layers = 80;
+  m.hidden_size = 10240;
+  m.ffn_hidden_size = 30720;
+  m.num_heads = 80;
+  m.num_kv_heads = 80;
+  return m;
+}
+
+ModelSpec ModelSpec::Tiny(int num_layers, int hidden) {
+  ModelSpec m;
+  m.name = "tiny";
+  m.num_layers = num_layers;
+  m.hidden_size = hidden;
+  m.ffn_hidden_size = hidden * 4;
+  m.num_heads = hidden / 64;
+  m.num_kv_heads = m.num_heads;
+  m.seq_len = 1024;
+  return m;
+}
+
+}  // namespace model
+}  // namespace malleus

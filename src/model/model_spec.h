@@ -1,0 +1,67 @@
+// Model architecture descriptions (LLaMA-2-style decoder transformers).
+//
+// The paper trains 32B / 70B / 110B LLaMA-2-architecture models with 4K
+// context. The 32B model has 60 transformer layers and the 70B/110B have 80
+// (both facts are pinned down by the paper's Appendix A.1 and Table 4).
+
+#ifndef MALLEUS_MODEL_MODEL_SPEC_H_
+#define MALLEUS_MODEL_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace malleus {
+namespace model {
+
+/// \brief Architecture of a decoder-only transformer.
+///
+/// Only quantities that matter to parallelization planning are captured:
+/// layer count, matmul dimensions (for FLOPs/bytes), and sequence length.
+struct ModelSpec {
+  std::string name;
+  int num_layers = 0;        ///< L: number of identical transformer layers.
+  int hidden_size = 0;       ///< h.
+  int ffn_hidden_size = 0;   ///< SwiGLU intermediate size.
+  int num_heads = 0;
+  int num_kv_heads = 0;      ///< < num_heads means grouped-query attention.
+  int vocab_size = 32000;
+  int seq_len = 4096;        ///< Training context length.
+
+  /// Parameters in one transformer layer (attention + gated MLP + norms).
+  uint64_t ParamsPerLayer() const;
+
+  /// Parameters in the embedding table (and, untied, the LM head).
+  uint64_t EmbeddingParams() const;
+
+  /// Total parameter count.
+  uint64_t TotalParams() const;
+
+  /// Forward+backward FLOPs of one transformer layer for a micro-batch of
+  /// size b at this spec's sequence length (matmuls + attention scores).
+  double TrainFlopsPerLayer(int micro_batch_size) const;
+
+  /// Forward+backward FLOPs of one full model pass for a micro-batch of
+  /// size b, including the LM head projection.
+  double TrainFlopsPerMicroBatch(int micro_batch_size) const;
+
+  Status Validate() const;
+  std::string ToString() const;
+
+  // --- The paper's three evaluation models. ---
+
+  /// 32B: 60 layers, hidden 6656 (trained on 32 GPUs in the paper).
+  static ModelSpec Llama32B();
+  /// 70B: LLaMA-2-70B (80 layers, hidden 8192, GQA, trained on 64 GPUs).
+  static ModelSpec Llama70B();
+  /// 110B: 80 layers, hidden 10240 (trained on 64 GPUs in the paper).
+  static ModelSpec Llama110B();
+  /// A small model for tests and the quickstart example.
+  static ModelSpec Tiny(int num_layers = 16, int hidden = 1024);
+};
+
+}  // namespace model
+}  // namespace malleus
+
+#endif  // MALLEUS_MODEL_MODEL_SPEC_H_

@@ -1,0 +1,43 @@
+#include "plan/estimator.h"
+
+#include <algorithm>
+
+namespace malleus {
+namespace plan {
+
+double StageTimePerMicrobatch(const Stage& stage, int micro_batch_size,
+                              const model::CostModel& cost,
+                              const straggler::Situation& situation) {
+  if (stage.num_layers == 0) return 0.0;
+  const double y = stage.group.Rate(cost, situation);
+  return y * stage.num_layers * cost.TauSeconds(micro_batch_size);
+}
+
+StepEstimate EstimateStep(const ParallelPlan& p, const model::CostModel& cost,
+                          const straggler::Situation& situation) {
+  StepEstimate est;
+  const double ac_factor = p.activation_checkpointing
+                               ? cost.config().ac_compute_overhead
+                               : 1.0;
+  for (const Pipeline& pipe : p.pipelines) {
+    double max_t = 0.0;
+    double sum_t = 0.0;
+    for (const Stage& s : pipe.stages) {
+      const double t =
+          ac_factor *
+          StageTimePerMicrobatch(s, p.micro_batch_size, cost, situation);
+      max_t = std::max(max_t, t);
+      sum_t += t;
+    }
+    const double m = static_cast<double>(pipe.num_microbatches);
+    const double full = (m - 1.0) * max_t + sum_t;
+    const double simplified = m * max_t;
+    est.pipeline_seconds.push_back(full);
+    est.step_seconds = std::max(est.step_seconds, full);
+    est.simplified_seconds = std::max(est.simplified_seconds, simplified);
+  }
+  return est;
+}
+
+}  // namespace plan
+}  // namespace malleus

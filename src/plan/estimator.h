@@ -1,0 +1,40 @@
+// Closed-form step-time estimation (the paper's S4.2 cost model). This is
+// what the planner optimizes and what Table 3 reports as R_est; the
+// discrete-event simulator (src/sim) provides the "actual" time R_actual.
+
+#ifndef MALLEUS_PLAN_ESTIMATOR_H_
+#define MALLEUS_PLAN_ESTIMATOR_H_
+
+#include <vector>
+
+#include "model/cost_model.h"
+#include "plan/plan.h"
+#include "straggler/situation.h"
+
+namespace malleus {
+namespace plan {
+
+/// Estimated timing of one training step under a plan.
+struct StepEstimate {
+  /// Full pipeline model: T_i = (m_i - 1) * max_j t_{i,j} + sum_j t_{i,j}.
+  double step_seconds = 0.0;
+  /// Simplified planner objective: T_i ~= m_i * max_j t_{i,j}.
+  double simplified_seconds = 0.0;
+  /// Per-pipeline times (full model).
+  std::vector<double> pipeline_seconds;
+};
+
+/// Evaluates the paper's cost model for `p` under `situation`.
+/// Stages with zero layers contribute no time.
+StepEstimate EstimateStep(const ParallelPlan& p, const model::CostModel& cost,
+                          const straggler::Situation& situation);
+
+/// t_{i,j} = y_{i,j} * l_{i,j} * tau(b) for one stage.
+double StageTimePerMicrobatch(const Stage& stage, int micro_batch_size,
+                              const model::CostModel& cost,
+                              const straggler::Situation& situation);
+
+}  // namespace plan
+}  // namespace malleus
+
+#endif  // MALLEUS_PLAN_ESTIMATOR_H_

@@ -1,0 +1,190 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace malleus {
+namespace plan {
+
+double TpGroup::Rate(const model::CostModel& cost,
+                     const straggler::Situation& situation) const {
+  std::vector<double> xs;
+  xs.reserve(gpus.size());
+  for (topo::GpuId g : gpus) {
+    MALLEUS_CHECK(g >= 0 && g < situation.num_gpus())
+        << "situation does not cover GPU " << g;
+    xs.push_back(situation.rate(g));
+  }
+  return cost.GroupRate(xs);
+}
+
+std::string TpGroup::ToString() const {
+  std::vector<std::string> parts;
+  for (topo::GpuId g : gpus) parts.push_back(StrFormat("x%d", g));
+  std::string out = "{";
+  out += Join(parts, ",");
+  out += "}";
+  return out;
+}
+
+int Pipeline::TotalLayers() const {
+  int total = 0;
+  for (const Stage& s : stages) total += s.num_layers;
+  return total;
+}
+
+std::vector<topo::GpuId> Pipeline::Gpus() const {
+  std::vector<topo::GpuId> out;
+  for (const Stage& s : stages) {
+    out.insert(out.end(), s.group.gpus.begin(), s.group.gpus.end());
+  }
+  return out;
+}
+
+std::vector<topo::GpuId> ParallelPlan::ActiveGpus() const {
+  std::vector<topo::GpuId> out;
+  for (const Pipeline& p : pipelines) {
+    auto g = p.Gpus();
+    out.insert(out.end(), g.begin(), g.end());
+  }
+  return out;
+}
+
+double StageMemoryBytesPerGpu(const ParallelPlan& p, int pipeline_index,
+                              int stage_index, const model::CostModel& cost) {
+  const Pipeline& pipe = p.pipelines[pipeline_index];
+  const Stage& stage = pipe.stages[stage_index];
+  const int pp = pipe.num_stages();
+  const int dp = p.dp_degree();
+  const int j = stage_index + 1;  // 1-based as in the paper.
+  const double mu = cost.MuBytes(p.micro_batch_size, j, pp, dp,
+                                 p.activation_checkpointing);
+  const double nu = cost.NuBytes(p.micro_batch_size, j, pp, dp);
+  return (stage.num_layers * mu + nu) / stage.group.size();
+}
+
+Status ParallelPlan::Validate(const topo::ClusterSpec& cluster,
+                              const model::CostModel& cost) const {
+  if (pipelines.empty()) {
+    return Status::InvalidArgument("plan has no pipelines");
+  }
+  if (micro_batch_size <= 0) {
+    return Status::InvalidArgument("micro-batch size must be positive");
+  }
+  const int L = cost.spec().num_layers;
+  int64_t data = 0;
+  std::set<topo::GpuId> seen(standby_gpus.begin(), standby_gpus.end());
+  const size_t standby_unique = seen.size();
+  if (standby_unique != standby_gpus.size()) {
+    return Status::InvalidArgument("duplicate standby GPU");
+  }
+
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    const Pipeline& pipe = pipelines[i];
+    if (pipe.stages.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("pipeline %zu has no stages", i));
+    }
+    if (pipe.num_microbatches <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("pipeline %zu has no micro-batches", i));
+    }
+    if (pipe.TotalLayers() != L) {
+      return Status::InvalidArgument(
+          StrFormat("pipeline %zu covers %d layers, model has %d", i,
+                    pipe.TotalLayers(), L));
+    }
+    data += pipe.num_microbatches * micro_batch_size;
+
+    for (size_t j = 0; j < pipe.stages.size(); ++j) {
+      const Stage& stage = pipe.stages[j];
+      if (stage.group.gpus.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("pipeline %zu stage %zu has no GPUs", i, j));
+      }
+      if (!model::IsValidTpDegree(stage.group.size())) {
+        return Status::InvalidArgument(
+            StrFormat("pipeline %zu stage %zu has TP degree %d", i, j,
+                      stage.group.size()));
+      }
+      if (stage.num_layers < 0) {
+        return Status::InvalidArgument("negative layer count");
+      }
+      const topo::NodeId node = cluster.NodeOf(stage.group.gpus[0]);
+      for (topo::GpuId g : stage.group.gpus) {
+        if (!cluster.ValidGpu(g)) {
+          return Status::InvalidArgument(StrFormat("invalid GPU id %d", g));
+        }
+        if (cluster.NodeOf(g) != node) {
+          return Status::InvalidArgument(
+              StrFormat("TP group spans nodes (GPU %d)", g));
+        }
+        if (!seen.insert(g).second) {
+          return Status::InvalidArgument(
+              StrFormat("GPU %d used more than once", g));
+        }
+      }
+      const double used = StageMemoryBytesPerGpu(
+          *this, static_cast<int>(i), static_cast<int>(j), cost);
+      const double cap = static_cast<double>(cost.gpu().UsableBytes());
+      if (used > cap * (1.0 + 1e-9)) {
+        return Status::ResourceExhausted(StrFormat(
+            "pipeline %zu stage %zu needs %s/GPU, capacity %s", i, j,
+            FormatBytes(static_cast<uint64_t>(used)).c_str(),
+            FormatBytes(static_cast<uint64_t>(cap)).c_str()));
+      }
+    }
+  }
+  if (data != global_batch) {
+    return Status::InvalidArgument(
+        StrFormat("plan covers %lld samples, global batch is %lld",
+                  static_cast<long long>(data),
+                  static_cast<long long>(global_batch)));
+  }
+  return Status::OK();
+}
+
+std::string ParallelPlan::ToString() const {
+  std::string out = StrFormat("ParallelPlan(b=%d, B=%lld, DP=%d)\n",
+                              micro_batch_size,
+                              static_cast<long long>(global_batch),
+                              dp_degree());
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    const Pipeline& pipe = pipelines[i];
+    out += StrFormat("  pipeline %zu: m=%lld (%d stages)\n", i + 1,
+                     static_cast<long long>(pipe.num_microbatches),
+                     pipe.num_stages());
+    for (size_t j = 0; j < pipe.stages.size(); ++j) {
+      const Stage& s = pipe.stages[j];
+      out += StrFormat("    stage %zu: %s  l=%d\n", j + 1,
+                       s.group.ToString().c_str(), s.num_layers);
+    }
+  }
+  if (!standby_gpus.empty()) {
+    std::vector<std::string> parts;
+    for (topo::GpuId g : standby_gpus) parts.push_back(StrFormat("x%d", g));
+    out += "  standby: " + Join(parts, ",") + "\n";
+  }
+  return out;
+}
+
+std::string ParallelPlan::Signature() const {
+  std::string sig = StrFormat("b%d%s|", micro_batch_size,
+                              activation_checkpointing ? "ac" : "");
+  for (const Pipeline& pipe : pipelines) {
+    sig += StrFormat("m%lld[", static_cast<long long>(pipe.num_microbatches));
+    for (const Stage& s : pipe.stages) {
+      sig += StrFormat("l%d(", s.num_layers);
+      for (topo::GpuId g : s.group.gpus) sig += StrFormat("%d,", g);
+      sig += ")";
+    }
+    sig += "]";
+  }
+  return sig;
+}
+
+}  // namespace plan
+}  // namespace malleus

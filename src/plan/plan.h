@@ -1,0 +1,93 @@
+// Parallelization plans (S3.1): the output of the planner and the input of
+// the executor. A plan captures the four non-uniform partitionings:
+//   (1) GPU grouping        - TP groups of possibly different sizes,
+//   (2) stage partitioning  - pipelines of possibly different depths,
+//   (3) layer assignment    - l_{i,j} layers per stage,
+//   (4) data assignment     - m_i micro-batches per pipeline.
+
+#ifndef MALLEUS_PLAN_PLAN_H_
+#define MALLEUS_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/cost_model.h"
+#include "model/model_spec.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace plan {
+
+/// A tensor-parallel group: the unit that executes one pipeline stage.
+/// All member GPUs must live on the same node (S2.1).
+struct TpGroup {
+  std::vector<topo::GpuId> gpus;
+
+  int size() const { return static_cast<int>(gpus.size()); }
+
+  /// Group straggling rate y = rho_n * max{x} under `situation`.
+  double Rate(const model::CostModel& cost,
+              const straggler::Situation& situation) const;
+
+  std::string ToString() const;
+};
+
+/// One pipeline stage: a TP group plus its layer range.
+struct Stage {
+  TpGroup group;
+  int num_layers = 0;  ///< l_{i,j}.
+};
+
+/// One training pipeline (a model replica).
+struct Pipeline {
+  std::vector<Stage> stages;
+  int64_t num_microbatches = 0;  ///< m_i.
+
+  int num_stages() const { return static_cast<int>(stages.size()); }
+  int TotalLayers() const;
+  std::vector<topo::GpuId> Gpus() const;
+};
+
+/// \brief A complete parallelization plan.
+struct ParallelPlan {
+  std::vector<Pipeline> pipelines;
+  int micro_batch_size = 1;     ///< b.
+  int64_t global_batch = 64;    ///< B; sum_i m_i * b == B must hold.
+  /// Re-compute forward activations during backward (trades ~33% extra
+  /// compute for a small resident activation footprint). Used by the
+  /// memory-starved baseline configurations (e.g. Megatron 32B "TP8+AC").
+  bool activation_checkpointing = false;
+  /// GPUs deliberately excluded from training (heavy stragglers kept on
+  /// standby for elastic re-inclusion, S5.2).
+  std::vector<topo::GpuId> standby_gpus;
+
+  int dp_degree() const { return static_cast<int>(pipelines.size()); }
+
+  /// All GPUs participating in training.
+  std::vector<topo::GpuId> ActiveGpus() const;
+
+  /// Checks the structural invariants: per-pipeline layers sum to L, data
+  /// sums to B, groups are intra-node with power-of-two sizes, no GPU is
+  /// used twice, and every stage fits in memory (Appendix B.4 constraints).
+  Status Validate(const topo::ClusterSpec& cluster,
+                  const model::CostModel& cost) const;
+
+  /// Renders the plan in the style of the paper's Table 4 case studies.
+  std::string ToString() const;
+
+  /// A stable fingerprint for change detection after re-planning.
+  std::string Signature() const;
+};
+
+/// Per-stage memory usage (bytes, per GPU) implied by the plan; used by
+/// validation and by tests.
+double StageMemoryBytesPerGpu(const ParallelPlan& p, int pipeline_index,
+                              int stage_index, const model::CostModel& cost);
+
+}  // namespace plan
+}  // namespace malleus
+
+#endif  // MALLEUS_PLAN_PLAN_H_

@@ -1,0 +1,142 @@
+#include "plan/uniform.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+#include "plan/estimator.h"
+#include "straggler/situation.h"
+
+namespace malleus {
+namespace plan {
+
+Result<ParallelPlan> BuildUniformPlan(const topo::ClusterSpec& cluster,
+                                      const model::CostModel& cost,
+                                      const std::vector<topo::GpuId>& gpus,
+                                      const UniformConfig& config) {
+  const int dp = config.dp, tp = config.tp, pp = config.pp;
+  if (dp <= 0 || tp <= 0 || pp <= 0) {
+    return Status::InvalidArgument("parallel degrees must be positive");
+  }
+  if (!model::IsValidTpDegree(tp)) {
+    return Status::InvalidArgument(StrFormat("invalid TP degree %d", tp));
+  }
+  if (static_cast<int>(gpus.size()) != dp * tp * pp) {
+    return Status::InvalidArgument(
+        StrFormat("need %d GPUs for DP%d x TP%d x PP%d, got %zu",
+                  dp * tp * pp, dp, tp, pp, gpus.size()));
+  }
+  const int L = cost.spec().num_layers;
+  if (pp > L) {
+    return Status::InvalidArgument("more stages than layers");
+  }
+  if (config.global_batch % config.micro_batch_size != 0) {
+    return Status::InvalidArgument(
+        "global batch must divide by micro-batch size");
+  }
+  const int64_t total_micro = config.global_batch / config.micro_batch_size;
+  if (total_micro % dp != 0 && !config.allow_uneven_data) {
+    return Status::InvalidArgument(
+        StrFormat("micro-batch count %lld does not divide by DP=%d",
+                  static_cast<long long>(total_micro), dp));
+  }
+  if (total_micro < dp) {
+    return Status::InvalidArgument("fewer micro-batches than pipelines");
+  }
+
+  // Chunk consecutive GPUs into TP groups; each group must be intra-node.
+  const int num_groups = dp * pp;
+  std::vector<TpGroup> groups(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    for (int k = 0; k < tp; ++k) {
+      groups[g].gpus.push_back(gpus[g * tp + k]);
+    }
+    for (topo::GpuId id : groups[g].gpus) {
+      if (!cluster.SameNode(id, groups[g].gpus[0])) {
+        return Status::InvalidArgument(
+            StrFormat("TP group %d would span nodes", g));
+      }
+    }
+  }
+
+  // Layer split: as even as possible, remainder to the later stages (they
+  // stash fewer in-flight activations).
+  const int base = L / pp;
+  const int rem = L % pp;
+
+  ParallelPlan out;
+  out.micro_batch_size = config.micro_batch_size;
+  out.global_batch = config.global_batch;
+  out.activation_checkpointing = config.activation_checkpointing;
+  out.pipelines.resize(dp);
+  for (int i = 0; i < dp; ++i) {
+    Pipeline& pipe = out.pipelines[i];
+    pipe.num_microbatches =
+        total_micro / dp + (i < total_micro % dp ? 1 : 0);
+    pipe.stages.resize(pp);
+    for (int j = 0; j < pp; ++j) {
+      pipe.stages[j].group = groups[static_cast<size_t>(j) * dp + i];
+      pipe.stages[j].num_layers = base + (j >= pp - rem ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+Result<ParallelPlan> TuneUniformPlan(const topo::ClusterSpec& cluster,
+                                     const model::CostModel& cost,
+                                     const std::vector<topo::GpuId>& gpus,
+                                     int64_t global_batch,
+                                     int max_micro_batch,
+                                     bool allow_uneven_data) {
+  const int n = static_cast<int>(gpus.size());
+  const straggler::Situation healthy(cluster.num_gpus());
+
+  bool found = false;
+  ParallelPlan best;
+  double best_time = std::numeric_limits<double>::infinity();
+
+  for (int tp : {1, 2, 4, 8}) {
+    if (tp > cluster.gpus_per_node() || n % tp != 0) continue;
+    const int num_groups = n / tp;
+    for (int pp = 1; pp <= num_groups; ++pp) {
+      if (num_groups % pp != 0) continue;
+      const int dp = num_groups / pp;
+      for (int b = 1; b <= max_micro_batch; ++b) {
+        if (global_batch % b != 0) continue;
+        const int64_t total_micro = global_batch / b;
+        if (total_micro % dp != 0 && !allow_uneven_data) continue;
+        if (total_micro < dp) continue;
+        for (bool ac : {false, true}) {
+          UniformConfig cfg;
+          cfg.dp = dp;
+          cfg.tp = tp;
+          cfg.pp = pp;
+          cfg.micro_batch_size = b;
+          cfg.global_batch = global_batch;
+          cfg.allow_uneven_data = allow_uneven_data;
+          cfg.activation_checkpointing = ac;
+          Result<ParallelPlan> built =
+              BuildUniformPlan(cluster, cost, gpus, cfg);
+          if (!built.ok()) continue;
+          if (!built->Validate(cluster, cost).ok()) continue;  // e.g. OOM.
+          // AC costs ~33% compute, so the estimate only prefers it when
+          // the AC-free variant does not fit in memory.
+          const StepEstimate est = EstimateStep(*built, cost, healthy);
+          if (est.step_seconds < best_time) {
+            best_time = est.step_seconds;
+            best = std::move(built).ValueOrDie();
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  if (!found) {
+    return Status::Infeasible(
+        StrFormat("no feasible uniform configuration over %d GPUs", n));
+  }
+  return best;
+}
+
+}  // namespace plan
+}  // namespace malleus

@@ -1,0 +1,57 @@
+// Builders for uniform (Megatron-LM-style) 3D-parallel plans. Used for the
+// baselines, for Malleus' straggler-free initial plan (the paper notes the
+// planner reproduces Megatron's configuration when all rates are 1), and as
+// a reference point in tests.
+
+#ifndef MALLEUS_PLAN_UNIFORM_H_
+#define MALLEUS_PLAN_UNIFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "model/cost_model.h"
+#include "plan/plan.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace plan {
+
+/// Configuration of a uniform 3D-parallel plan.
+struct UniformConfig {
+  int dp = 1;
+  int tp = 1;
+  int pp = 1;
+  int micro_batch_size = 1;
+  int64_t global_batch = 64;
+  /// When the global batch does not divide by dp, distribute the remainder
+  /// round-robin (true) or fail (false, Megatron semantics).
+  bool allow_uneven_data = false;
+  /// Trade extra compute for activation memory ("+AC" in Tables 6-7).
+  bool activation_checkpointing = false;
+};
+
+/// Builds a uniform plan over `gpus` (must contain exactly dp*tp*pp ids,
+/// and each TP group of consecutive ids must be intra-node). Layers are
+/// split as evenly as possible (the remainder goes to the later stages,
+/// which need less activation memory).
+Result<ParallelPlan> BuildUniformPlan(const topo::ClusterSpec& cluster,
+                                      const model::CostModel& cost,
+                                      const std::vector<topo::GpuId>& gpus,
+                                      const UniformConfig& config);
+
+/// Enumerates all memory-feasible uniform configurations over `gpus` for
+/// micro-batch sizes in [1, max_micro_batch] and returns the one with the
+/// lowest estimated straggler-free step time. This is the "tuned" Megatron
+/// configuration of the paper's protocol (S7.1).
+Result<ParallelPlan> TuneUniformPlan(const topo::ClusterSpec& cluster,
+                                     const model::CostModel& cost,
+                                     const std::vector<topo::GpuId>& gpus,
+                                     int64_t global_batch,
+                                     int max_micro_batch = 4,
+                                     bool allow_uneven_data = false);
+
+}  // namespace plan
+}  // namespace malleus
+
+#endif  // MALLEUS_PLAN_UNIFORM_H_

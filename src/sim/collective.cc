@@ -1,0 +1,99 @@
+#include "sim/collective.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace malleus {
+namespace sim {
+
+double GroupBottleneckBandwidth(const topo::ClusterSpec& cluster,
+                                const std::vector<topo::GpuId>& gpus) {
+  MALLEUS_CHECK(!gpus.empty());
+  bool cross_node = false;
+  for (topo::GpuId g : gpus) {
+    if (!cluster.SameNode(g, gpus[0])) {
+      cross_node = true;
+      break;
+    }
+  }
+  const double gbps = cross_node ? cluster.link().inter_node_gbps
+                                 : cluster.link().intra_node_gbps;
+  return gbps * 1e9;
+}
+
+namespace {
+// Alpha cost of a ring collective: n-1 steps, each bounded by the slowest
+// hop of that step; approximated as the sum over the first n-1 hops.
+double RingLatency(const topo::ClusterSpec& cluster,
+                   const std::vector<topo::GpuId>& gpus) {
+  double lat = 0.0;
+  for (size_t i = 0; i + 1 < gpus.size(); ++i) {
+    lat += cluster.LatencySec(gpus[i], gpus[i + 1]);
+  }
+  return lat;
+}
+}  // namespace
+
+double ReduceScatterSeconds(const topo::ClusterSpec& cluster,
+                            const std::vector<topo::GpuId>& gpus,
+                            double bytes) {
+  const size_t n = gpus.size();
+  if (n <= 1) return 0.0;
+  const double bw = GroupBottleneckBandwidth(cluster, gpus);
+  // Ring reduce-scatter moves (n-1)/n of the data through each link.
+  return bytes * (static_cast<double>(n - 1) / n) / bw +
+         RingLatency(cluster, gpus);
+}
+
+double AllGatherSeconds(const topo::ClusterSpec& cluster,
+                        const std::vector<topo::GpuId>& gpus, double bytes) {
+  return ReduceScatterSeconds(cluster, gpus, bytes);
+}
+
+double AllReduceSeconds(const topo::ClusterSpec& cluster,
+                        const std::vector<topo::GpuId>& gpus, double bytes) {
+  // All-reduce = reduce-scatter + all-gather.
+  return ReduceScatterSeconds(cluster, gpus, bytes) +
+         AllGatherSeconds(cluster, gpus, bytes);
+}
+
+double P2pSeconds(const topo::ClusterSpec& cluster, topo::GpuId src,
+                  topo::GpuId dst, double bytes) {
+  if (src == dst) return 0.0;
+  return bytes / cluster.BandwidthBytesPerSec(src, dst) +
+         cluster.LatencySec(src, dst);
+}
+
+double BatchedSendRecvSeconds(const topo::ClusterSpec& cluster,
+                              const std::vector<Transfer>& transfers,
+                              int packs) {
+  if (transfers.empty()) return 0.0;
+  MALLEUS_CHECK_GE(packs, 1);
+  // Endpoint serialization: intra-node moves are charged to each GPU's
+  // NVLink port, cross-node moves to the *node's* shared InfiniBand NIC.
+  std::map<topo::GpuId, double> gpu_seconds;
+  std::map<topo::NodeId, double> node_seconds;
+  double max_latency = 0.0;
+  for (const Transfer& t : transfers) {
+    if (t.src == t.dst || t.bytes <= 0) continue;
+    const double bw = cluster.BandwidthBytesPerSec(t.src, t.dst);
+    const double s = t.bytes / bw;
+    if (cluster.SameNode(t.src, t.dst)) {
+      gpu_seconds[t.src] += s;
+      gpu_seconds[t.dst] += s;
+    } else {
+      node_seconds[cluster.NodeOf(t.src)] += s;
+      node_seconds[cluster.NodeOf(t.dst)] += s;
+    }
+    max_latency = std::max(max_latency, cluster.LatencySec(t.src, t.dst));
+  }
+  double busiest = 0.0;
+  for (const auto& [gpu, s] : gpu_seconds) busiest = std::max(busiest, s);
+  for (const auto& [node, s] : node_seconds) busiest = std::max(busiest, s);
+  return busiest + packs * max_latency;
+}
+
+}  // namespace sim
+}  // namespace malleus

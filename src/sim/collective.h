@@ -1,0 +1,56 @@
+// Cost models of the NCCL-style communication primitives the runtime uses:
+// ring all-reduce / reduce-scatter / all-gather, point-to-point activation
+// transfers, and fused batched-send-recv (used by model migration).
+
+#ifndef MALLEUS_SIM_COLLECTIVE_H_
+#define MALLEUS_SIM_COLLECTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace sim {
+
+/// Bandwidth (bytes/s) of the narrowest link among `gpus` (ring collectives
+/// are bottlenecked by the slowest hop; any cross-node pair forces IB).
+double GroupBottleneckBandwidth(const topo::ClusterSpec& cluster,
+                                const std::vector<topo::GpuId>& gpus);
+
+/// Ring all-reduce time for `bytes` over `gpus`.
+double AllReduceSeconds(const topo::ClusterSpec& cluster,
+                        const std::vector<topo::GpuId>& gpus, double bytes);
+
+/// Ring reduce-scatter time for `bytes` over `gpus`.
+double ReduceScatterSeconds(const topo::ClusterSpec& cluster,
+                            const std::vector<topo::GpuId>& gpus,
+                            double bytes);
+
+/// Ring all-gather time for `bytes` over `gpus`.
+double AllGatherSeconds(const topo::ClusterSpec& cluster,
+                        const std::vector<topo::GpuId>& gpus, double bytes);
+
+/// Point-to-point transfer time for `bytes` from `src` to `dst`.
+double P2pSeconds(const topo::ClusterSpec& cluster, topo::GpuId src,
+                  topo::GpuId dst, double bytes);
+
+/// A single point-to-point transfer (used by migration).
+struct Transfer {
+  topo::GpuId src = 0;
+  topo::GpuId dst = 0;
+  double bytes = 0.0;
+};
+
+/// \brief Time of a fused batched-send-recv executing `transfers`
+/// concurrently: each GPU's NIC serializes its own sends+receives, links are
+/// otherwise independent, and every batch pays one latency per
+/// `packs` groups (the paper fuses slices and packs 4 layers per batch).
+double BatchedSendRecvSeconds(const topo::ClusterSpec& cluster,
+                              const std::vector<Transfer>& transfers,
+                              int packs = 1);
+
+}  // namespace sim
+}  // namespace malleus
+
+#endif  // MALLEUS_SIM_COLLECTIVE_H_

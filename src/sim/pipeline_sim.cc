@@ -1,0 +1,212 @@
+#include "sim/pipeline_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sim/collective.h"
+
+namespace malleus {
+namespace sim {
+
+std::vector<StageTask> Build1F1BSchedule(int stage, int num_stages,
+                                         int64_t m) {
+  std::vector<StageTask> seq;
+  seq.reserve(2 * m);
+  const int64_t warmup = std::min<int64_t>(m, num_stages - 1 - stage);
+  for (int64_t k = 0; k < warmup; ++k) seq.push_back({true, k});
+  for (int64_t k = 0; k < m - warmup; ++k) {
+    seq.push_back({true, warmup + k});
+    seq.push_back({false, k});
+  }
+  for (int64_t k = m - warmup; k < m; ++k) seq.push_back({false, k});
+  return seq;
+}
+
+namespace {
+
+// Simulates one pipeline; returns its compute finish time.
+double SimulatePipeline(const std::vector<double>& fwd_seconds,
+                        const std::vector<double>& bwd_seconds,
+                        const std::vector<double>& xfer_seconds, int64_t m) {
+  const int pp = static_cast<int>(fwd_seconds.size());
+  std::vector<std::vector<StageTask>> seq(pp);
+  for (int j = 0; j < pp; ++j) seq[j] = Build1F1BSchedule(j, pp, m);
+
+  std::vector<std::vector<double>> fwd_done(pp), bwd_done(pp);
+  for (int j = 0; j < pp; ++j) {
+    fwd_done[j].assign(m, -1.0);
+    bwd_done[j].assign(m, -1.0);
+  }
+  std::vector<size_t> pos(pp, 0);
+  std::vector<double> busy_until(pp, 0.0);
+
+  bool progressed = true;
+  size_t total_done = 0;
+  const size_t total_tasks = static_cast<size_t>(pp) * 2 * m;
+  while (total_done < total_tasks) {
+    MALLEUS_CHECK(progressed) << "1F1B schedule deadlocked";
+    progressed = false;
+    for (int j = 0; j < pp; ++j) {
+      while (pos[j] < seq[j].size()) {
+        const StageTask& t = seq[j][pos[j]];
+        double dep = 0.0;
+        if (t.is_fwd) {
+          if (j > 0) {
+            if (fwd_done[j - 1][t.micro] < 0) break;  // Not ready.
+            dep = fwd_done[j - 1][t.micro] + xfer_seconds[j];
+          }
+        } else {
+          if (j < pp - 1) {
+            if (bwd_done[j + 1][t.micro] < 0) break;
+            dep = bwd_done[j + 1][t.micro] + xfer_seconds[j + 1];
+          }
+          // The same-stage forward precedes this task in the sequence, so
+          // its activation is already stashed.
+        }
+        const double start = std::max(busy_until[j], dep);
+        const double end =
+            start + (t.is_fwd ? fwd_seconds[j] : bwd_seconds[j]);
+        busy_until[j] = end;
+        (t.is_fwd ? fwd_done : bwd_done)[j][t.micro] = end;
+        ++pos[j];
+        ++total_done;
+        progressed = true;
+      }
+    }
+  }
+  double finish = 0.0;
+  for (int j = 0; j < pp; ++j) finish = std::max(finish, busy_until[j]);
+  return finish;
+}
+
+// True iff two stages' layer ranges [a0, a1) and [b0, b1) intersect.
+bool Overlaps(int a0, int a1, int b0, int b1) { return a0 < b1 && b0 < a1; }
+
+}  // namespace
+
+Result<StepResult> SimulateStep(const topo::ClusterSpec& cluster,
+                                const model::CostModel& cost,
+                                const plan::ParallelPlan& p,
+                                const straggler::Situation& situation,
+                                const SimOptions& options, Rng* rng) {
+  MALLEUS_CHECK(rng != nullptr);
+  MALLEUS_RETURN_NOT_OK(p.Validate(cluster, cost));
+  if (situation.num_gpus() != cluster.num_gpus()) {
+    return Status::InvalidArgument("situation does not match cluster size");
+  }
+
+  StepResult result;
+  result.measured_rates.assign(cluster.num_gpus(), 0.0);
+
+  // Per-GPU effective rates for this step (true rate + kernel jitter).
+  std::vector<double> effective(cluster.num_gpus(), 0.0);
+  for (const topo::GpuId g : p.ActiveGpus()) {
+    if (situation.IsFailed(g)) {
+      return Status::Unavailable(
+          StrFormat("GPU %d is unresponsive; step cannot complete", g));
+    }
+    double jitter = 1.0 + rng->Normal(0.0, options.timing_noise_stddev);
+    jitter = std::max(jitter, 0.5);
+    effective[g] = situation.rate(g) * jitter;
+    result.measured_rates[g] = effective[g];
+  }
+
+  const int b = p.micro_batch_size;
+  const double tau = cost.TauSeconds(b);
+  const double p2p_bytes = cost.P2pActivationBytes(b);
+
+  // --- Pipeline compute phase ---
+  for (const plan::Pipeline& pipe : p.pipelines) {
+    const int pp = pipe.num_stages();
+    std::vector<double> fwd(pp), bwd(pp), xfer(pp, 0.0);
+    for (int j = 0; j < pp; ++j) {
+      const plan::Stage& s = pipe.stages[j];
+      double max_eff = 0.0;
+      for (topo::GpuId g : s.group.gpus) {
+        max_eff = std::max(max_eff, effective[g]);
+      }
+      const double y = cost.Rho(s.group.size()) * max_eff;
+      const double t_full = y * s.num_layers * tau;
+      fwd[j] = t_full / 3.0;   // Backward costs ~2x forward.
+      bwd[j] = t_full * 2.0 / 3.0;
+      if (p.activation_checkpointing) {
+        // Checkpointing re-runs the forward during backward; the forward
+        // pass itself is unchanged.
+        bwd[j] += (cost.config().ac_compute_overhead - 1.0) * t_full;
+      }
+      if (j > 0 && options.include_p2p) {
+        xfer[j] = P2pSeconds(cluster, pipe.stages[j - 1].group.gpus.back(),
+                             s.group.gpus.front(), p2p_bytes);
+      }
+    }
+    result.pipeline_seconds.push_back(
+        SimulatePipeline(fwd, bwd, xfer, pipe.num_microbatches));
+  }
+
+  double compute_end = 0.0;
+  for (double t : result.pipeline_seconds) {
+    compute_end = std::max(compute_end, t);
+  }
+
+  // --- ZeRO-1 gradient synchronization (reduce-scatter the gradients,
+  // all-gather the updated parameters) across pipelines ---
+  double sync = 0.0;
+  const int dp = p.dp_degree();
+  if (options.include_grad_sync && dp > 1) {
+    // Precompute each stage's layer offset within its pipeline.
+    std::vector<std::vector<int>> offsets(dp);
+    for (int i = 0; i < dp; ++i) {
+      int off = 0;
+      for (const plan::Stage& s : p.pipelines[i].stages) {
+        offsets[i].push_back(off);
+        off += s.num_layers;
+      }
+    }
+    for (int i = 0; i < dp; ++i) {
+      const plan::Pipeline& pipe = p.pipelines[i];
+      for (int j = 0; j < pipe.num_stages(); ++j) {
+        const plan::Stage& s = pipe.stages[j];
+        if (s.num_layers == 0) continue;
+        const int lo = offsets[i][j];
+        const int hi = lo + s.num_layers;
+        // DP peers: the representative GPU of every overlapping stage in
+        // the other pipelines (the slice owners the ring passes through).
+        std::vector<topo::GpuId> peers = {s.group.gpus.front()};
+        for (int i2 = 0; i2 < dp; ++i2) {
+          if (i2 == i) continue;
+          const plan::Pipeline& other = p.pipelines[i2];
+          for (int j2 = 0; j2 < other.num_stages(); ++j2) {
+            const plan::Stage& s2 = other.stages[j2];
+            if (Overlaps(lo, hi, offsets[i2][j2],
+                         offsets[i2][j2] + s2.num_layers)) {
+              peers.push_back(s2.group.gpus.front());
+            }
+          }
+        }
+        const double bw = GroupBottleneckBandwidth(cluster, peers);
+        double hop_latency = 0.0;
+        for (size_t q = 1; q < peers.size(); ++q) {
+          hop_latency =
+              std::max(hop_latency, cluster.LatencySec(peers[0], peers[q]));
+        }
+        // Per-GPU traffic: bf16 gradients out + bf16 parameters back.
+        const double bytes_per_gpu =
+            2.0 * s.num_layers * cost.GradSyncBytesPerLayer() /
+            s.group.size();
+        const double t = bytes_per_gpu *
+                             (static_cast<double>(dp - 1) / dp) / bw +
+                         2.0 * dp * hop_latency;
+        sync = std::max(sync, t);
+      }
+    }
+  }
+
+  result.grad_sync_seconds = sync;
+  result.step_seconds = compute_end + sync;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace malleus

@@ -1,0 +1,75 @@
+// Discrete-event simulation of one hybrid-parallel training step.
+//
+// This substitutes for the paper's physical execution: it plays out the
+// 1F1B pipeline schedule (warm-up / steady / cool-down) with true
+// inter-stage dependencies and per-stage compute times derived from the
+// cost model and the live straggling rates, then adds the ZeRO-1 gradient
+// synchronization across pipelines. The result is the "actual" step time
+// (R_actual in Table 3) plus the per-GPU timing measurements the profiler
+// consumes (the stand-in for CUDA-event timing).
+
+#ifndef MALLEUS_SIM_PIPELINE_SIM_H_
+#define MALLEUS_SIM_PIPELINE_SIM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "model/cost_model.h"
+#include "plan/plan.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace sim {
+
+/// Knobs of the step simulator.
+struct SimOptions {
+  /// Relative stddev of per-GPU, per-step kernel-time jitter. The profiler
+  /// must see through this noise, so tests exercise nonzero values.
+  double timing_noise_stddev = 0.01;
+  /// Model P2P activation transfers between stages.
+  bool include_p2p = true;
+  /// Model DP gradient synchronization (reduce-scatter + all-gather).
+  bool include_grad_sync = true;
+};
+
+/// Outcome of simulating one training step.
+struct StepResult {
+  /// Wall-clock time of the step (all pipelines + gradient sync).
+  double step_seconds = 0.0;
+  /// Per-pipeline compute finish time (before gradient sync).
+  std::vector<double> pipeline_seconds;
+  /// Time spent in the DP gradient synchronization phase.
+  double grad_sync_seconds = 0.0;
+  /// Per-GPU observed straggling rate: measured kernel time relative to a
+  /// healthy GPU doing the same work (noisy view of the true rate).
+  /// Zero for GPUs that executed no work this step.
+  std::vector<double> measured_rates;
+};
+
+/// Simulates one training step of `p` under `situation`.
+/// The plan must be valid for (cluster, cost).
+Result<StepResult> SimulateStep(const topo::ClusterSpec& cluster,
+                                const model::CostModel& cost,
+                                const plan::ParallelPlan& p,
+                                const straggler::Situation& situation,
+                                const SimOptions& options, Rng* rng);
+
+/// One task in a stage's 1F1B sequence.
+struct StageTask {
+  bool is_fwd = true;
+  int64_t micro = 0;
+};
+
+/// The deterministic 1F1B task order of stage `stage` (0-based) in a
+/// pipeline of `num_stages` stages processing `num_micro` micro-batches:
+/// warm-up forwards, steady (fwd, bwd) pairs, cool-down backwards.
+/// Shared by the simulator and the graph builder.
+std::vector<StageTask> Build1F1BSchedule(int stage, int num_stages,
+                                         int64_t num_micro);
+
+}  // namespace sim
+}  // namespace malleus
+
+#endif  // MALLEUS_SIM_PIPELINE_SIM_H_

@@ -1,0 +1,30 @@
+#include "sim/restart.h"
+
+#include "common/logging.h"
+
+namespace malleus {
+namespace sim {
+
+namespace {
+double IoSeconds(double bytes, int num_io_nodes,
+                 const RestartCostConfig& config) {
+  MALLEUS_CHECK_GT(num_io_nodes, 0);
+  const double bw = config.per_node_io_gbps * 1e9 * num_io_nodes;
+  return bytes / bw;
+}
+}  // namespace
+
+double RestartSeconds(double checkpoint_bytes, int num_io_nodes,
+                      const RestartCostConfig& config) {
+  // Save + init + load.
+  return 2.0 * IoSeconds(checkpoint_bytes, num_io_nodes, config) +
+         config.framework_init_seconds;
+}
+
+double CheckpointLoadSeconds(double checkpoint_bytes, int num_io_nodes,
+                             const RestartCostConfig& config) {
+  return IoSeconds(checkpoint_bytes, num_io_nodes, config);
+}
+
+}  // namespace sim
+}  // namespace malleus

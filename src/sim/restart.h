@@ -1,0 +1,33 @@
+// Cost model of checkpoint-save + restart + checkpoint-load, the recovery
+// path of the "w/ Restart" baselines (and of Malleus after GPU failures).
+
+#ifndef MALLEUS_SIM_RESTART_H_
+#define MALLEUS_SIM_RESTART_H_
+
+namespace malleus {
+namespace sim {
+
+struct RestartCostConfig {
+  /// Framework re-initialization: process launch, resource allocation,
+  /// communication-group construction (paper S7.2 lists this as a major
+  /// component of the 199-442 s Megatron restart overhead).
+  double framework_init_seconds = 80.0;
+  /// Aggregate checkpoint I/O bandwidth per node (parallel save/load).
+  double per_node_io_gbps = 2.0;
+};
+
+/// Seconds to save a checkpoint of `checkpoint_bytes`, restart the job, and
+/// load it back, with `num_io_nodes` nodes sharing the I/O.
+double RestartSeconds(double checkpoint_bytes, int num_io_nodes,
+                      const RestartCostConfig& config = RestartCostConfig());
+
+/// Seconds to only load the latest checkpoint (Malleus' failure-recovery
+/// path: surviving processes stay up, so no framework re-init).
+double CheckpointLoadSeconds(
+    double checkpoint_bytes, int num_io_nodes,
+    const RestartCostConfig& config = RestartCostConfig());
+
+}  // namespace sim
+}  // namespace malleus
+
+#endif  // MALLEUS_SIM_RESTART_H_

@@ -1,0 +1,363 @@
+#include "solver/division.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "solver/minmax.h"
+
+namespace malleus {
+namespace solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Internal working state: slow groups sorted by descending rate with a map
+// back to the caller's indices.
+struct Workspace {
+  explicit Workspace(const DivisionProblem& p) : problem(p) {}
+
+  const DivisionProblem& problem;
+  std::vector<int> sorted_to_orig;   // sorted slow position -> original index
+  std::vector<double> sorted_rates;  // descending
+  // Best complete solution found so far.
+  double best_obj = kInf;
+  std::vector<int> best_assign;      // slow (sorted pos) -> pipeline
+  std::vector<int> best_fast;        // pipeline -> #fast groups
+  std::vector<int64_t> best_micro;   // pipeline -> m_i
+  int64_t nodes = 0;
+  bool budget_hit = false;
+};
+
+// Capacity contribution of pipeline i for a given slow assignment + fast
+// counts: S_i = h_i / y_hat + sum 1/y_k.
+std::vector<double> Capacities(const Workspace& ws,
+                               const std::vector<int>& assign,
+                               const std::vector<int>& fast) {
+  const int dp = ws.problem.num_pipelines;
+  std::vector<double> cap(dp, 0.0);
+  for (int i = 0; i < dp; ++i) {
+    cap[i] = fast[i] / ws.problem.fast_rate;
+  }
+  for (size_t k = 0; k < assign.size(); ++k) {
+    cap[assign[k]] += 1.0 / ws.sorted_rates[k];
+  }
+  return cap;
+}
+
+bool PipelineFeasible(const Workspace& ws, const std::vector<int>& assign,
+                      int pipeline, int num_fast) {
+  if (!ws.problem.pipeline_feasible) return true;
+  std::vector<int> slow;
+  for (size_t k = 0; k < assign.size(); ++k) {
+    if (assign[k] == pipeline) slow.push_back(ws.sorted_to_orig[k]);
+  }
+  return ws.problem.pipeline_feasible(num_fast, slow);
+}
+
+// Exact integer micro-batch allocation for fixed capacities. Returns the
+// objective max_i m_i / S_i, or +inf if some pipeline has zero capacity.
+double AllocateMicrobatches(const Workspace& ws,
+                            const std::vector<double>& caps,
+                            std::vector<int64_t>* micro) {
+  const int dp = ws.problem.num_pipelines;
+  std::vector<double> rates(dp);
+  for (int i = 0; i < dp; ++i) {
+    if (caps[i] <= 0.0) return kInf;  // Empty pipeline: no feasible plan.
+    rates[i] = 1.0 / caps[i];
+  }
+  Result<BottleneckSolution> r =
+      SolveBottleneckAllocation(rates, ws.problem.total_microbatches);
+  if (!r.ok()) return kInf;
+  // Every pipeline must process at least one micro-batch, otherwise its
+  // GPUs idle for the whole step; fold zero-load pipelines into infeasible.
+  for (int i = 0; i < dp; ++i) {
+    if (r->amounts[i] == 0) return kInf;
+  }
+  *micro = r->amounts;
+  return r->bottleneck;
+}
+
+// Distributes the fast groups over pipelines by water-filling on capacity,
+// respecting feasibility; when `improve` is set, additionally runs
+// single-group exchange improvement (only worth its cost on the winning
+// assignment, so the DFS evaluates leaves with improve=false).
+// Returns the achieved objective (or +inf) and fills fast/micro.
+double DistributeFastAndEvaluate(Workspace& ws, const std::vector<int>& assign,
+                                 bool improve, std::vector<int>* fast_out,
+                                 std::vector<int64_t>* micro_out) {
+  const int dp = ws.problem.num_pipelines;
+  const int f_total = ws.problem.num_fast_groups;
+  std::vector<int> fast(dp, 0);
+  std::vector<int> slow_count(dp, 0);
+  for (int p : assign) ++slow_count[p];
+
+  // Pipelines with no slow group need at least one fast group.
+  int remaining = f_total;
+  for (int i = 0; i < dp; ++i) {
+    if (slow_count[i] == 0) {
+      if (remaining == 0) return kInf;
+      fast[i] = 1;
+      --remaining;
+    }
+  }
+  // Water-fill the rest onto the pipeline with the smallest capacity.
+  std::vector<double> caps = Capacities(ws, assign, fast);
+  for (int g = 0; g < remaining; ++g) {
+    int argmin = 0;
+    for (int i = 1; i < dp; ++i) {
+      if (caps[i] < caps[argmin]) argmin = i;
+    }
+    ++fast[argmin];
+    caps[argmin] += 1.0 / ws.problem.fast_rate;
+  }
+
+  // Feasibility repair: shift fast groups toward infeasible pipelines from
+  // the most capacious feasible donors. In the worst case every fast group
+  // must move once, so the budget scales with f_total.
+  for (int round = 0; round < f_total + 4 * dp + 8; ++round) {
+    int bad = -1;
+    for (int i = 0; i < dp; ++i) {
+      if (!PipelineFeasible(ws, assign, i, fast[i])) {
+        bad = i;
+        break;
+      }
+    }
+    if (bad < 0) break;
+    int donor = -1;
+    for (int i = 0; i < dp; ++i) {
+      if (i == bad) continue;
+      const int keep = slow_count[i] == 0 ? 1 : 0;
+      if (fast[i] > keep && (donor < 0 || caps[i] > caps[donor])) donor = i;
+    }
+    if (donor < 0) return kInf;
+    --fast[donor];
+    ++fast[bad];
+    caps[donor] -= 1.0 / ws.problem.fast_rate;
+    caps[bad] += 1.0 / ws.problem.fast_rate;
+  }
+  for (int i = 0; i < dp; ++i) {
+    if (!PipelineFeasible(ws, assign, i, fast[i])) return kInf;
+  }
+
+  std::vector<int64_t> micro;
+  double best = AllocateMicrobatches(ws, caps, &micro);
+
+  // Exchange improvement on the fast-group counts.
+  bool improved = improve;
+  int guard = 0;
+  while (improved && ++guard <= 16) {
+    improved = false;
+    for (int from = 0; from < dp; ++from) {
+      const int keep = slow_count[from] == 0 ? 1 : 0;
+      for (int to = 0; to < dp; ++to) {
+        if (to == from) continue;
+        if (fast[from] <= keep) break;  // Re-check: kept moves drain it.
+        --fast[from];
+        ++fast[to];
+        if (PipelineFeasible(ws, assign, from, fast[from]) &&
+            PipelineFeasible(ws, assign, to, fast[to])) {
+          std::vector<double> c2 = Capacities(ws, assign, fast);
+          std::vector<int64_t> m2;
+          const double obj2 = AllocateMicrobatches(ws, c2, &m2);
+          if (obj2 < best - 1e-12) {
+            best = obj2;
+            micro = std::move(m2);
+            improved = true;
+            continue;  // Keep the move.
+          }
+        }
+        ++fast[from];  // Revert.
+        --fast[to];
+      }
+    }
+  }
+
+  if (best == kInf) return kInf;
+  *fast_out = std::move(fast);
+  *micro_out = std::move(micro);
+  return best;
+}
+
+void EvaluateLeaf(Workspace& ws, const std::vector<int>& assign) {
+  std::vector<int> fast;
+  std::vector<int64_t> micro;
+  const double obj =
+      DistributeFastAndEvaluate(ws, assign, /*improve=*/false, &fast,
+                                &micro);
+  if (obj < ws.best_obj) {
+    ws.best_obj = obj;
+    ws.best_assign = assign;
+    ws.best_fast = std::move(fast);
+    ws.best_micro = std::move(micro);
+  }
+}
+
+// Re-evaluates the best-known assignment with exchange improvement on.
+void PolishBest(Workspace& ws) {
+  if (ws.best_obj == kInf) return;
+  std::vector<int> fast;
+  std::vector<int64_t> micro;
+  const double obj = DistributeFastAndEvaluate(
+      ws, ws.best_assign, /*improve=*/true, &fast, &micro);
+  if (obj < ws.best_obj) {
+    ws.best_obj = obj;
+    ws.best_fast = std::move(fast);
+    ws.best_micro = std::move(micro);
+  }
+}
+
+// Depth-first enumeration of canonical slow-group placements.
+// Canonical form: group k may open at most one new pipeline (first-use
+// order), and equal-rate groups are placed in non-decreasing pipeline order.
+void Dfs(Workspace& ws, std::vector<int>& assign, int k, int used) {
+  if (ws.budget_hit) return;
+  if (++ws.nodes > ws.problem.max_nodes) {
+    ws.budget_hit = true;
+    return;
+  }
+  const int ms = static_cast<int>(ws.sorted_rates.size());
+  const int dp = ws.problem.num_pipelines;
+  if (k == ms) {
+    EvaluateLeaf(ws, assign);
+    return;
+  }
+  const int first_allowed =
+      (k > 0 && ws.sorted_rates[k] == ws.sorted_rates[k - 1]) ? assign[k - 1]
+                                                              : 0;
+  const int limit = std::min(dp - 1, used);  // used == next fresh pipeline
+  for (int p = first_allowed; p <= limit; ++p) {
+    assign[k] = p;
+    Dfs(ws, assign, k + 1, std::max(used, p + 1));
+    if (ws.budget_hit) return;
+  }
+}
+
+// Greedy construction + move/swap local search, used when the exact
+// enumeration exceeds its node budget.
+void LocalSearch(Workspace& ws) {
+  const int ms = static_cast<int>(ws.sorted_rates.size());
+  const int dp = ws.problem.num_pipelines;
+  std::vector<int> assign(ms, 0);
+  // Greedy: heaviest slow group to the pipeline with least slow mass.
+  std::vector<double> mass(dp, 0.0);
+  for (int k = 0; k < ms; ++k) {
+    int argmin = 0;
+    for (int i = 1; i < dp; ++i) {
+      if (mass[i] < mass[argmin]) argmin = i;
+    }
+    assign[k] = argmin;
+    mass[argmin] += 1.0 / ws.sorted_rates[k];  // Capacity mass.
+  }
+  EvaluateLeaf(ws, assign);
+
+  bool improved = true;
+  int guard = 0;
+  while (improved && ++guard <= 256) {
+    improved = false;
+    const double before = ws.best_obj;
+    // Moves.
+    for (int k = 0; k < ms; ++k) {
+      const int old = assign[k];
+      for (int p = 0; p < dp; ++p) {
+        if (p == old) continue;
+        assign[k] = p;
+        EvaluateLeaf(ws, assign);
+      }
+      assign[k] = ws.best_obj < before ? ws.best_assign[k] : old;
+    }
+    // Swaps.
+    for (int a = 0; a < ms; ++a) {
+      for (int b = a + 1; b < ms; ++b) {
+        if (assign[a] == assign[b]) continue;
+        std::swap(assign[a], assign[b]);
+        EvaluateLeaf(ws, assign);
+        if (ws.best_assign == assign) continue;  // Keep improving swap.
+        std::swap(assign[a], assign[b]);
+      }
+    }
+    if (ws.best_obj < before - 1e-12) {
+      assign = ws.best_assign;
+      improved = true;
+    }
+  }
+}
+
+}  // namespace
+
+Result<DivisionResult> SolveDivision(const DivisionProblem& problem) {
+  if (problem.num_pipelines <= 0) {
+    return Status::InvalidArgument("need at least one pipeline");
+  }
+  if (problem.num_fast_groups < 0) {
+    return Status::InvalidArgument("negative fast group count");
+  }
+  if (problem.fast_rate <= 0) {
+    return Status::InvalidArgument("fast_rate must be positive");
+  }
+  if (problem.total_microbatches <= 0) {
+    return Status::InvalidArgument("need at least one micro-batch");
+  }
+  const int total_groups = problem.num_fast_groups +
+                           static_cast<int>(problem.slow_rates.size());
+  if (total_groups < problem.num_pipelines) {
+    return Status::Infeasible("fewer groups than pipelines");
+  }
+  for (double y : problem.slow_rates) {
+    if (!(y > 0)) {
+      return Status::InvalidArgument("slow rates must be positive");
+    }
+  }
+
+  Workspace ws(problem);
+  const int ms = static_cast<int>(problem.slow_rates.size());
+  ws.sorted_to_orig.resize(ms);
+  std::iota(ws.sorted_to_orig.begin(), ws.sorted_to_orig.end(), 0);
+  std::sort(ws.sorted_to_orig.begin(), ws.sorted_to_orig.end(),
+            [&](int a, int b) {
+              return problem.slow_rates[a] > problem.slow_rates[b];
+            });
+  ws.sorted_rates.resize(ms);
+  for (int k = 0; k < ms; ++k) {
+    ws.sorted_rates[k] = problem.slow_rates[ws.sorted_to_orig[k]];
+  }
+
+  std::vector<int> assign(ms, 0);
+  Dfs(ws, assign, 0, 0);
+  const bool exact = !ws.budget_hit;
+  if (ws.budget_hit) {
+    LocalSearch(ws);
+  }
+  PolishBest(ws);
+
+  if (ws.best_obj == kInf) {
+    return Status::Infeasible("no feasible pipeline division");
+  }
+
+  DivisionResult out;
+  out.objective = ws.best_obj;
+  out.exact = exact;
+  out.nodes_explored = ws.nodes;
+  out.pipelines.resize(problem.num_pipelines);
+  for (int i = 0; i < problem.num_pipelines; ++i) {
+    out.pipelines[i].num_fast = ws.best_fast[i];
+    out.pipelines[i].microbatches = ws.best_micro[i];
+  }
+  for (int k = 0; k < ms; ++k) {
+    out.pipelines[ws.best_assign[k]].slow_indices.push_back(
+        ws.sorted_to_orig[k]);
+  }
+  std::vector<double> caps = Capacities(ws, ws.best_assign, ws.best_fast);
+  for (int i = 0; i < problem.num_pipelines; ++i) {
+    out.pipelines[i].capacity = caps[i];
+    std::sort(out.pipelines[i].slow_indices.begin(),
+              out.pipelines[i].slow_indices.end());
+  }
+  return out;
+}
+
+}  // namespace solver
+}  // namespace malleus

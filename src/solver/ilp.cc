@@ -1,0 +1,138 @@
+#include "solver/ilp.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace malleus {
+namespace solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const IntegerProgram& ip, const IlpOptions& opts)
+      : ip_(ip), opts_(opts) {}
+
+  Result<IlpSolution> Solve() {
+    best_obj_ = kInf;
+    nodes_ = 0;
+
+    Node root;
+    root.lower = ip_.lp.lower_bounds;
+    root.upper = ip_.lp.upper_bounds;
+    root.lower.resize(ip_.lp.num_vars(), 0.0);
+    root.upper.resize(ip_.lp.num_vars(), kInf);
+
+    MALLEUS_RETURN_NOT_OK(Explore(root));
+
+    if (!std::isfinite(best_obj_)) {
+      return Status::Infeasible("no integral feasible solution");
+    }
+    IlpSolution sol;
+    sol.x = best_x_;
+    sol.objective = best_obj_;
+    sol.nodes_explored = nodes_;
+    return sol;
+  }
+
+ private:
+  Status Explore(const Node& node) {  // NOLINT(misc-no-recursion)
+    if (++nodes_ > opts_.max_nodes) {
+      return Status::ResourceExhausted("branch-and-bound node limit hit");
+    }
+
+    LinearProgram relax = ip_.lp;
+    relax.lower_bounds = node.lower;
+    relax.upper_bounds = node.upper;
+    // Infeasible bound boxes can arise from branching.
+    for (int j = 0; j < relax.num_vars(); ++j) {
+      if (relax.lower_bounds[j] > relax.upper_bounds[j]) {
+        return Status::OK();  // Prune.
+      }
+    }
+
+    Result<LpSolution> relaxed = SolveLp(relax);
+    if (!relaxed.ok()) {
+      if (relaxed.status().IsInfeasible()) return Status::OK();  // Prune.
+      return relaxed.status();
+    }
+    const LpSolution& lp_sol = *relaxed;
+    if (lp_sol.objective >= best_obj_ - 1e-9) return Status::OK();  // Bound.
+
+    // Find the most fractional integral variable.
+    int branch_var = -1;
+    double branch_frac = 0.0;
+    for (int j = 0; j < ip_.lp.num_vars(); ++j) {
+      if (j >= static_cast<int>(ip_.integral.size()) || !ip_.integral[j]) {
+        continue;
+      }
+      const double v = lp_sol.x[j];
+      const double frac = std::fabs(v - std::round(v));
+      if (frac > opts_.integrality_tol && frac > branch_frac) {
+        branch_frac = frac;
+        branch_var = j;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral (round off numeric noise on integral vars) and recompute
+      // the objective from the rounded vector so the reported value equals
+      // c^T x of the returned solution.
+      std::vector<double> x = lp_sol.x;
+      double obj = 0.0;
+      for (int j = 0; j < ip_.lp.num_vars(); ++j) {
+        if (j < static_cast<int>(ip_.integral.size()) && ip_.integral[j]) {
+          x[j] = std::round(x[j]);
+        }
+        obj += ip_.lp.objective[j] * x[j];
+      }
+      if (obj < best_obj_) {
+        best_obj_ = obj;
+        best_x_ = std::move(x);
+      }
+      return Status::OK();
+    }
+
+    const double v = lp_sol.x[branch_var];
+    // Down branch: x <= floor(v).
+    Node down = node;
+    down.upper[branch_var] = std::floor(v);
+    MALLEUS_RETURN_NOT_OK(Explore(down));
+    // Up branch: x >= ceil(v).
+    Node up = node;
+    up.lower[branch_var] = std::ceil(v);
+    return Explore(up);
+  }
+
+  const IntegerProgram& ip_;
+  const IlpOptions& opts_;
+  double best_obj_ = kInf;
+  std::vector<double> best_x_;
+  int nodes_ = 0;
+};
+
+}  // namespace
+
+IntegerProgram IntegerProgram::Create(int num_vars) {
+  IntegerProgram ip;
+  ip.lp = LinearProgram::Create(num_vars);
+  ip.integral.assign(num_vars, true);
+  return ip;
+}
+
+Result<IlpSolution> SolveIlp(const IntegerProgram& ip,
+                             const IlpOptions& options) {
+  BranchAndBound bnb(ip, options);
+  return bnb.Solve();
+}
+
+}  // namespace solver
+}  // namespace malleus

@@ -1,0 +1,137 @@
+#include "solver/minmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Units assignable to one entity are never needed beyond this bound; it
+// also guards the int64 cast against floor(inf).
+constexpr int64_t kUnitsCeiling = int64_t{1} << 40;
+
+// Max units assignable to entity j when the bottleneck must stay <= t.
+int64_t MaxUnitsAt(double rate, int64_t cap, double t) {
+  if (rate == kInf) return 0;
+  // floor(t / rate) with a tolerance so that t == rate * k counts k.
+  const double units = std::floor(t / rate + 1e-9);
+  int64_t by_rate = units >= static_cast<double>(kUnitsCeiling)
+                        ? kUnitsCeiling
+                        : static_cast<int64_t>(units);
+  if (by_rate < 0) by_rate = 0;
+  if (cap >= 0) by_rate = std::min(by_rate, cap);
+  return by_rate;
+}
+
+int64_t TotalUnitsAt(const std::vector<double>& rates,
+                     const std::vector<int64_t>& caps, double t) {
+  int64_t total = 0;
+  for (size_t j = 0; j < rates.size(); ++j) {
+    total += MaxUnitsAt(rates[j], caps[j], t);
+  }
+  return total;  // Bounded by n * kUnitsCeiling; no overflow.
+}
+
+}  // namespace
+
+Result<BottleneckSolution> SolveBottleneckAllocation(
+    const std::vector<double>& rates, const std::vector<int64_t>& caps,
+    int64_t total) {
+  const size_t n = rates.size();
+  if (n == 0) return Status::InvalidArgument("no entities to assign to");
+  if (caps.size() != n) {
+    return Status::InvalidArgument("rates/caps size mismatch");
+  }
+  if (total < 0) return Status::InvalidArgument("total must be >= 0");
+  for (double r : rates) {
+    if (!(r > 0)) {
+      return Status::InvalidArgument("rates must be positive (or +inf)");
+    }
+  }
+
+  BottleneckSolution sol;
+  sol.amounts.assign(n, 0);
+  if (total == 0) {
+    sol.bottleneck = 0.0;
+    return sol;
+  }
+
+  // Feasibility: the loosest possible bottleneck assigns cap everywhere.
+  if (TotalUnitsAt(rates, caps, kInf) < total) {
+    return Status::Infeasible(
+        StrFormat("capacities admit fewer than %lld units",
+                  static_cast<long long>(total)));
+  }
+
+  // The optimal bottleneck is rate_j * k for some entity j and integer
+  // k <= total. Binary search on k per candidate rate is wasteful; instead
+  // binary-search the scalar t over the merged candidate space:
+  // first bracket t in (lo, hi], then resolve the exact candidate.
+  double hi = 0.0;
+  for (size_t j = 0; j < rates.size(); ++j) {
+    if (rates[j] != kInf) {
+      hi = std::max(hi, rates[j] * static_cast<double>(total));
+    }
+  }
+  double lo = 0.0;
+  // 60 halvings give full double precision on the bracket.
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (TotalUnitsAt(rates, caps, mid) >= total) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  // Snap hi to the exact achieved bottleneck (the largest used product).
+  double t = hi;
+
+  // Assign maximal units at t, then trim the excess starting from the
+  // highest-rate entities so the secondary sum of products shrinks most.
+  std::vector<int64_t>& out = sol.amounts;
+  int64_t assigned = 0;
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = MaxUnitsAt(rates[j], caps[j], t);
+    assigned += out[j];
+  }
+  int64_t excess = assigned - total;
+  if (excess > 0) {
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return rates[a] > rates[b];
+    });
+    for (size_t idx : order) {
+      if (excess == 0) break;
+      const int64_t cut = std::min(excess, out[idx]);
+      out[idx] -= cut;
+      excess -= cut;
+    }
+  }
+
+  double bottleneck = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    if (out[j] > 0) {
+      bottleneck = std::max(bottleneck, rates[j] * out[j]);
+    }
+  }
+  sol.bottleneck = bottleneck;
+  return sol;
+}
+
+Result<BottleneckSolution> SolveBottleneckAllocation(
+    const std::vector<double>& rates, int64_t total) {
+  std::vector<int64_t> caps(rates.size(), -1);
+  return SolveBottleneckAllocation(rates, caps, total);
+}
+
+}  // namespace solver
+}  // namespace malleus

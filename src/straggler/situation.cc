@@ -1,0 +1,130 @@
+#include "straggler/situation.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace straggler {
+
+namespace {
+// Slope of the level -> rate fit; see the header comment.
+constexpr double kLevelRateSlope = 1.44;
+}  // namespace
+
+double RateForLevel(int level) {
+  if (level <= 0) return 1.0;
+  return 1.0 + kLevelRateSlope * level;
+}
+
+const char* SituationName(SituationId id) {
+  switch (id) {
+    case SituationId::kNormal:
+      return "Normal";
+    case SituationId::kS1:
+      return "S1";
+    case SituationId::kS2:
+      return "S2";
+    case SituationId::kS3:
+      return "S3";
+    case SituationId::kS4:
+      return "S4";
+    case SituationId::kS5:
+      return "S5";
+    case SituationId::kS6:
+      return "S6";
+  }
+  return "?";
+}
+
+Result<Situation> Situation::Canonical(const topo::ClusterSpec& cluster,
+                                       SituationId id) {
+  MALLEUS_RETURN_NOT_OK(cluster.Validate());
+  const int per_node = cluster.gpus_per_node();
+  Situation s(cluster.num_gpus());
+  auto need_nodes = [&](int n) -> Status {
+    if (cluster.num_nodes() < n) {
+      return Status::InvalidArgument(
+          StrFormat("situation %s needs >= %d nodes, cluster has %d",
+                    SituationName(id), n, cluster.num_nodes()));
+    }
+    return Status::OK();
+  };
+  switch (id) {
+    case SituationId::kNormal:
+      break;
+    case SituationId::kS1:
+      s.SetLevel(0, 1);
+      break;
+    case SituationId::kS2:
+      s.SetLevel(0, 3);
+      break;
+    case SituationId::kS3:
+      MALLEUS_RETURN_NOT_OK(need_nodes(2));
+      s.SetLevel(0, 3);
+      s.SetLevel(per_node, 1);
+      break;
+    case SituationId::kS4:
+      MALLEUS_RETURN_NOT_OK(need_nodes(3));
+      s.SetLevel(0, 3);
+      s.SetLevel(per_node, 2);
+      s.SetLevel(2 * per_node, 1);
+      break;
+    case SituationId::kS5:
+      MALLEUS_RETURN_NOT_OK(need_nodes(2));
+      for (int i = 0; i < per_node; ++i) s.SetLevel(i, 1);
+      s.SetLevel(per_node, 2);
+      break;
+    case SituationId::kS6:
+      for (int i = 0; i < per_node; ++i) s.SetLevel(i, 1);
+      break;
+  }
+  return s;
+}
+
+std::vector<topo::GpuId> Situation::Stragglers() const {
+  std::vector<topo::GpuId> out;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (IsStraggler(g)) out.push_back(g);
+  }
+  return out;
+}
+
+double Situation::TheoreticSlowdown() const {
+  const double n_total = static_cast<double>(num_gpus());
+  double capacity = 0.0;
+  for (double x : rates_) {
+    if (x == kFailedRate) continue;  // Dead GPU contributes nothing.
+    capacity += 1.0 / x;
+  }
+  if (capacity <= 0) return std::numeric_limits<double>::infinity();
+  return n_total / capacity;
+}
+
+std::string Situation::ToString() const {
+  std::vector<std::string> parts;
+  for (int g = 0; g < num_gpus(); ++g) {
+    if (IsStraggler(g)) {
+      parts.push_back(IsFailed(g) ? StrFormat("x%d=FAILED", g)
+                                  : StrFormat("x%d=%.2f", g, rates_[g]));
+    }
+  }
+  if (parts.empty()) return "Situation(no stragglers)";
+  return "Situation(" + Join(parts, ", ") + ")";
+}
+
+std::vector<TracePhase> StandardTrace(int steps_per_phase) {
+  return {
+      {SituationId::kNormal, steps_per_phase},
+      {SituationId::kS1, steps_per_phase},
+      {SituationId::kS2, steps_per_phase},
+      {SituationId::kS3, steps_per_phase},
+      {SituationId::kS4, steps_per_phase},
+      {SituationId::kS5, steps_per_phase},
+      {SituationId::kS6, steps_per_phase},
+      {SituationId::kNormal, steps_per_phase},
+  };
+}
+
+}  // namespace straggler
+}  // namespace malleus

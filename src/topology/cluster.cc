@@ -1,0 +1,65 @@
+#include "topology/cluster.h"
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace topo {
+
+std::vector<GpuId> ClusterSpec::GpusOnNode(NodeId node) const {
+  std::vector<GpuId> out;
+  out.reserve(gpus_per_node_);
+  for (int i = 0; i < gpus_per_node_; ++i) {
+    out.push_back(node * gpus_per_node_ + i);
+  }
+  return out;
+}
+
+std::vector<GpuId> ClusterSpec::AllGpus() const {
+  std::vector<GpuId> out;
+  out.reserve(num_gpus());
+  for (int g = 0; g < num_gpus(); ++g) out.push_back(g);
+  return out;
+}
+
+double ClusterSpec::BandwidthBytesPerSec(GpuId a, GpuId b) const {
+  const double gbps =
+      SameNode(a, b) ? link_.intra_node_gbps : link_.inter_node_gbps;
+  return gbps * 1e9;
+}
+
+double ClusterSpec::LatencySec(GpuId a, GpuId b) const {
+  return SameNode(a, b) ? link_.intra_node_latency_s
+                        : link_.inter_node_latency_s;
+}
+
+Status ClusterSpec::Validate() const {
+  if (num_nodes_ <= 0) {
+    return Status::InvalidArgument("cluster must have at least one node");
+  }
+  if (gpus_per_node_ <= 0) {
+    return Status::InvalidArgument("node must have at least one GPU");
+  }
+  if (gpu_.peak_tflops <= 0) {
+    return Status::InvalidArgument("GPU peak TFLOPS must be positive");
+  }
+  if (gpu_.memory_bytes <= gpu_.reserved_bytes) {
+    return Status::InvalidArgument(
+        "GPU memory must exceed the reserved gap");
+  }
+  if (link_.intra_node_gbps <= 0 || link_.inter_node_gbps <= 0) {
+    return Status::InvalidArgument("link bandwidths must be positive");
+  }
+  return Status::OK();
+}
+
+std::string ClusterSpec::ToString() const {
+  return StrFormat(
+      "Cluster(%d nodes x %d GPUs, %.0f TFLOPS, %s HBM, "
+      "NVLink %.0f GB/s, IB %.0f GB/s)",
+      num_nodes_, gpus_per_node_, gpu_.peak_tflops,
+      FormatBytes(gpu_.memory_bytes).c_str(), link_.intra_node_gbps,
+      link_.inter_node_gbps);
+}
+
+}  // namespace topo
+}  // namespace malleus

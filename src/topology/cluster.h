@@ -1,0 +1,105 @@
+// Cluster topology: nodes, GPUs, and interconnect characteristics.
+//
+// This module stands in for the paper's physical testbed (8 servers with
+// 8 x A800-80GB each, NVLink 400 GB/s intra-node, InfiniBand 200 GB/s
+// inter-node). All other modules reason about devices through ClusterSpec.
+
+#ifndef MALLEUS_TOPOLOGY_CLUSTER_H_
+#define MALLEUS_TOPOLOGY_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace malleus {
+namespace topo {
+
+/// Global GPU identifier: GPUs are numbered node-major, i.e. GPU g lives on
+/// node g / gpus_per_node at local index g % gpus_per_node.
+using GpuId = int;
+using NodeId = int;
+
+/// Hardware characteristics of one GPU.
+struct GpuSpec {
+  double peak_tflops = 312.0;       ///< BF16 tensor-core peak (A800-like).
+  uint64_t memory_bytes = 80ULL << 30;  ///< HBM capacity (80 GB).
+  /// Reserved memory gap G for NCCL/CUDA contexts (paper: 4096 MiB).
+  uint64_t reserved_bytes = 4096ULL << 20;
+
+  /// Usable memory for model states + activations.
+  uint64_t UsableBytes() const {
+    return memory_bytes > reserved_bytes ? memory_bytes - reserved_bytes : 0;
+  }
+};
+
+/// Interconnect characteristics.
+struct LinkSpec {
+  double intra_node_gbps = 400.0;  ///< NVLink bandwidth, GB/s per direction.
+  double inter_node_gbps = 200.0;  ///< InfiniBand bandwidth, GB/s.
+  double intra_node_latency_s = 5e-6;
+  double inter_node_latency_s = 12e-6;
+};
+
+/// \brief Describes a homogeneous cluster of `num_nodes` servers with
+/// `gpus_per_node` GPUs each.
+///
+/// Heterogeneity (stragglers) is *not* part of the topology; it is overlaid
+/// by malleus::straggler at runtime, matching the paper's premise that the
+/// hardware is nominally homogeneous but dynamically degrades.
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  ClusterSpec(int num_nodes, int gpus_per_node, GpuSpec gpu = GpuSpec(),
+              LinkSpec link = LinkSpec())
+      : num_nodes_(num_nodes),
+        gpus_per_node_(gpus_per_node),
+        gpu_(gpu),
+        link_(link) {}
+
+  /// Builds the paper's testbed: `num_nodes` x 8 A800-80GB.
+  static ClusterSpec A800Cluster(int num_nodes) {
+    return ClusterSpec(num_nodes, 8);
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int num_gpus() const { return num_nodes_ * gpus_per_node_; }
+  const GpuSpec& gpu() const { return gpu_; }
+  const LinkSpec& link() const { return link_; }
+
+  NodeId NodeOf(GpuId gpu) const { return gpu / gpus_per_node_; }
+  int LocalIndexOf(GpuId gpu) const { return gpu % gpus_per_node_; }
+  bool SameNode(GpuId a, GpuId b) const { return NodeOf(a) == NodeOf(b); }
+  bool ValidGpu(GpuId gpu) const { return gpu >= 0 && gpu < num_gpus(); }
+
+  /// All GPU ids on `node`, in local-index order.
+  std::vector<GpuId> GpusOnNode(NodeId node) const;
+
+  /// All GPU ids in the cluster.
+  std::vector<GpuId> AllGpus() const;
+
+  /// Bandwidth (bytes/s) of the narrowest link on the path between two GPUs.
+  double BandwidthBytesPerSec(GpuId a, GpuId b) const;
+
+  /// One-way latency (s) between two GPUs.
+  double LatencySec(GpuId a, GpuId b) const;
+
+  /// Validates structural invariants.
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_nodes_ = 0;
+  int gpus_per_node_ = 0;
+  GpuSpec gpu_;
+  LinkSpec link_;
+};
+
+}  // namespace topo
+}  // namespace malleus
+
+#endif  // MALLEUS_TOPOLOGY_CLUSTER_H_

@@ -1,0 +1,211 @@
+// Tests for core/grouping: Theorem 1 even partitioning (cross-checked
+// against brute force on random instances), Theorem 2 group splitting, and
+// the power-of-two compositions of Appendix B.7.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/grouping.h"
+
+namespace malleus {
+namespace core {
+namespace {
+
+class GroupingTest : public ::testing::Test {
+ protected:
+  topo::ClusterSpec cluster_ = topo::ClusterSpec::A800Cluster(2);
+  model::CostModel cost_{model::ModelSpec::Llama32B(), topo::GpuSpec()};
+};
+
+TEST_F(GroupingTest, HealthyEvenPartition) {
+  straggler::Situation s(cluster_.num_gpus());
+  GroupingOptions opts;
+  opts.max_tp_degree = 4;
+  Result<GroupingResult> g = GroupGpus(cluster_, cost_, s, opts);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->groups.size(), 4u);
+  for (size_t i = 0; i < g->groups.size(); ++i) {
+    EXPECT_EQ(g->groups[i].size(), 4);
+    EXPECT_DOUBLE_EQ(g->rates[i], cost_.Rho(4));
+  }
+  EXPECT_TRUE(g->excluded.empty());
+}
+
+TEST_F(GroupingTest, Theorem1GroupsSimilarRatesTogether) {
+  straggler::Situation s(cluster_.num_gpus());
+  // Two mild stragglers on node 0 must share a group of 2 under TP 2.
+  s.SetRate(1, 1.5);
+  s.SetRate(6, 1.5);
+  GroupingOptions opts;
+  opts.max_tp_degree = 2;
+  opts.enable_splitting = false;
+  Result<GroupingResult> g = GroupGpus(cluster_, cost_, s, opts);
+  ASSERT_TRUE(g.ok());
+  for (const plan::TpGroup& group : g->groups) {
+    const bool has1 = std::count(group.gpus.begin(), group.gpus.end(), 1);
+    const bool has6 = std::count(group.gpus.begin(), group.gpus.end(), 6);
+    EXPECT_EQ(has1, has6);  // Together or neither.
+  }
+}
+
+TEST_F(GroupingTest, HeavyStragglerIsolated) {
+  straggler::Situation s(cluster_.num_gpus());
+  s.SetLevel(0, 8);  // Rate ~12.5.
+  GroupingOptions opts;
+  opts.max_tp_degree = 8;
+  Result<GroupingResult> g = GroupGpus(cluster_, cost_, s, opts);
+  ASSERT_TRUE(g.ok());
+  for (size_t i = 0; i < g->groups.size(); ++i) {
+    if (std::count(g->groups[i].gpus.begin(), g->groups[i].gpus.end(), 0)) {
+      EXPECT_EQ(g->groups[i].size(), 1);
+    }
+  }
+  // Splitting must strictly improve the Theorem 2 capacity over no split.
+  GroupingOptions no_split = opts;
+  no_split.enable_splitting = false;
+  Result<GroupingResult> g0 = GroupGpus(cluster_, cost_, s, no_split);
+  ASSERT_TRUE(g0.ok());
+  EXPECT_GT(g->Capacity(), g0->Capacity());
+}
+
+TEST_F(GroupingTest, SplitThresholdRespected) {
+  // Below the split threshold (rate within the noise band) the group stays
+  // whole; splitting is only *considered* for genuine stragglers.
+  straggler::Situation s(cluster_.num_gpus());
+  s.SetRate(0, 1.04);
+  GroupingOptions opts;
+  opts.max_tp_degree = 8;
+  Result<GroupingResult> g = GroupGpus(cluster_, cost_, s, opts);
+  ASSERT_TRUE(g.ok());
+  for (const plan::TpGroup& group : g->groups) {
+    if (std::count(group.gpus.begin(), group.gpus.end(), 0)) {
+      EXPECT_EQ(group.size(), 8);
+    }
+  }
+}
+
+TEST_F(GroupingTest, AdoptedSplitNeverLosesCapacity) {
+  // Whatever the splitting loop decides, the Theorem 2 capacity must be at
+  // least that of the unsplit Theorem 1 grouping.
+  for (int level : {1, 2, 3, 8}) {
+    straggler::Situation s(cluster_.num_gpus());
+    s.SetLevel(0, level);
+    GroupingOptions split_opts;
+    split_opts.max_tp_degree = 8;
+    GroupingOptions plain = split_opts;
+    plain.enable_splitting = false;
+    Result<GroupingResult> with = GroupGpus(cluster_, cost_, s, split_opts);
+    Result<GroupingResult> without = GroupGpus(cluster_, cost_, s, plain);
+    ASSERT_TRUE(with.ok());
+    ASSERT_TRUE(without.ok());
+    EXPECT_GE(with->Capacity(), without->Capacity() - 1e-12);
+  }
+}
+
+TEST_F(GroupingTest, FailedGpusExcluded) {
+  straggler::Situation s(cluster_.num_gpus());
+  s.Fail(3);
+  GroupingOptions opts;
+  opts.max_tp_degree = 8;
+  Result<GroupingResult> g = GroupGpus(cluster_, cost_, s, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->excluded, std::vector<topo::GpuId>{3});
+  int covered = 0;
+  for (const plan::TpGroup& group : g->groups) {
+    covered += group.size();
+    EXPECT_EQ(std::count(group.gpus.begin(), group.gpus.end(), 3), 0);
+  }
+  EXPECT_EQ(covered, cluster_.num_gpus() - 1);
+}
+
+TEST_F(GroupingTest, AllGroupsIntraNodeAndDisjoint) {
+  straggler::Situation s(cluster_.num_gpus());
+  s.SetLevel(0, 3);
+  s.SetLevel(9, 1);
+  for (int tp : {1, 2, 4, 8}) {
+    GroupingOptions opts;
+    opts.max_tp_degree = tp;
+    Result<GroupingResult> g = GroupGpus(cluster_, cost_, s, opts);
+    ASSERT_TRUE(g.ok());
+    std::set<topo::GpuId> seen;
+    for (const plan::TpGroup& group : g->groups) {
+      EXPECT_LE(group.size(), tp);
+      for (topo::GpuId id : group.gpus) {
+        EXPECT_TRUE(seen.insert(id).second);
+        EXPECT_TRUE(cluster_.SameNode(id, group.gpus[0]));
+      }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(cluster_.num_gpus()));
+  }
+}
+
+TEST_F(GroupingTest, RejectsInvalidOptions) {
+  straggler::Situation s(cluster_.num_gpus());
+  GroupingOptions opts;
+  opts.max_tp_degree = 3;
+  EXPECT_FALSE(GroupGpus(cluster_, cost_, s, opts).ok());
+  opts.max_tp_degree = 16;
+  EXPECT_FALSE(GroupGpus(cluster_, cost_, s, opts).ok());
+}
+
+TEST(PowerOfTwoCompositionTest, KnownDecompositions) {
+  EXPECT_EQ(PowerOfTwoComposition(7, 8), (std::vector<int>{4, 2, 1}));
+  EXPECT_EQ(PowerOfTwoComposition(3, 4), (std::vector<int>{2, 1}));
+  EXPECT_EQ(PowerOfTwoComposition(1, 2), (std::vector<int>{1}));
+  EXPECT_EQ(PowerOfTwoComposition(8, 8), (std::vector<int>{8}));
+  EXPECT_EQ(PowerOfTwoComposition(8, 4), (std::vector<int>{4, 4}));
+  EXPECT_TRUE(PowerOfTwoComposition(0, 8).empty());
+}
+
+TEST(PowerOfTwoCompositionTest, SumsAndBoundsHoldForAllInputs) {
+  for (int max_size : {1, 2, 4, 8}) {
+    for (int n = 0; n <= 16; ++n) {
+      const std::vector<int> sizes = PowerOfTwoComposition(n, max_size);
+      int total = 0;
+      for (int v : sizes) {
+        EXPECT_TRUE(model::IsValidTpDegree(v));
+        EXPECT_LE(v, max_size);
+        total += v;
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+// Property: for equal-size groups (Theorem 1's regime), the implemented
+// contiguous-descending grouping maximizes the Theorem 2 capacity over all
+// brute-force partitions of a node.
+TEST(GroupingPropertyTest, Theorem1MaximizesCapacityOnRandomNodes) {
+  const topo::ClusterSpec cluster(1, 4);
+  const model::CostModel cost(model::ModelSpec::Tiny(), topo::GpuSpec());
+  Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    straggler::Situation s(4);
+    for (int g = 0; g < 4; ++g) {
+      s.SetRate(g, 1.0 + 4.0 * rng.Uniform());
+    }
+    GroupingOptions opts;
+    opts.max_tp_degree = 2;
+    opts.enable_splitting = false;
+    Result<GroupingResult> got = GroupGpus(cluster, cost, s, opts);
+    ASSERT_TRUE(got.ok());
+
+    // Brute force: all 3 pairings of 4 GPUs into two pairs.
+    const int pairings[3][4] = {{0, 1, 2, 3}, {0, 2, 1, 3}, {0, 3, 1, 2}};
+    double best = 0.0;
+    for (const auto& pairing : pairings) {
+      const double cap =
+          1.0 / cost.GroupRate({s.rate(pairing[0]), s.rate(pairing[1])}) +
+          1.0 / cost.GroupRate({s.rate(pairing[2]), s.rate(pairing[3])});
+      best = std::max(best, cap);
+    }
+    EXPECT_NEAR(got->Capacity(), best, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace malleus

@@ -1,0 +1,185 @@
+// Tests for src/model: architecture specs (parameter counts pinned to the
+// paper's 32B/70B/110B models) and the analytic cost model (tau, rho, group
+// rates, the Appendix B.4 memory coefficients, activation checkpointing).
+
+#include <gtest/gtest.h>
+
+#include "model/cost_model.h"
+#include "model/model_spec.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace model {
+namespace {
+
+TEST(ModelSpecTest, ParameterCountsMatchPaperScales) {
+  const double b32 = static_cast<double>(ModelSpec::Llama32B().TotalParams());
+  const double b70 = static_cast<double>(ModelSpec::Llama70B().TotalParams());
+  const double b110 =
+      static_cast<double>(ModelSpec::Llama110B().TotalParams());
+  EXPECT_NEAR(b32 / 1e9, 32.0, 1.5);
+  EXPECT_NEAR(b70 / 1e9, 69.0, 2.0);
+  EXPECT_NEAR(b110 / 1e9, 110.0, 3.0);
+}
+
+TEST(ModelSpecTest, LayerCountsFromPaper) {
+  EXPECT_EQ(ModelSpec::Llama32B().num_layers, 60);   // Appendix A.1.
+  EXPECT_EQ(ModelSpec::Llama70B().num_layers, 80);
+  EXPECT_EQ(ModelSpec::Llama110B().num_layers, 80);  // Table 4 sums.
+}
+
+TEST(ModelSpecTest, GqaShrinksAttention) {
+  ModelSpec gqa = ModelSpec::Llama70B();
+  ModelSpec mha = gqa;
+  mha.num_kv_heads = mha.num_heads;
+  EXPECT_LT(gqa.ParamsPerLayer(), mha.ParamsPerLayer());
+}
+
+TEST(ModelSpecTest, FlopsScaleWithBatchAndParams) {
+  const ModelSpec m = ModelSpec::Llama70B();
+  EXPECT_NEAR(m.TrainFlopsPerLayer(2), 2 * m.TrainFlopsPerLayer(1), 1e6);
+  // 6 FLOPs per parameter per token is the dominant term.
+  const double per_token = m.TrainFlopsPerLayer(1) / (1.0 * m.seq_len);
+  EXPECT_GT(per_token, 6.0 * m.ParamsPerLayer());
+  EXPECT_LT(per_token, 7.0 * m.ParamsPerLayer());
+}
+
+TEST(ModelSpecTest, ValidationCatchesBadShapes) {
+  ModelSpec m = ModelSpec::Tiny();
+  EXPECT_TRUE(m.Validate().ok());
+  m.num_heads = 7;  // Does not divide hidden.
+  EXPECT_FALSE(m.Validate().ok());
+  m = ModelSpec::Tiny();
+  m.num_layers = 0;
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  model::CostModel cost_{ModelSpec::Llama70B(), topo::GpuSpec()};
+};
+
+TEST_F(CostModelTest, ZetaDecreasesWithTpDegree) {
+  const double z1 = cost_.ZetaSeconds(1, 1);
+  const double z2 = cost_.ZetaSeconds(2, 1);
+  const double z4 = cost_.ZetaSeconds(4, 1);
+  const double z8 = cost_.ZetaSeconds(8, 1);
+  EXPECT_GT(z1, z2);
+  EXPECT_GT(z2, z4);
+  EXPECT_GT(z4, z8);
+  // But not perfectly: ideal scaling is n*zeta_n == zeta_1.
+  EXPECT_GT(8 * z8, z1);
+}
+
+TEST_F(CostModelTest, RhoNormalizedToTpOne) {
+  EXPECT_DOUBLE_EQ(cost_.Rho(1), 1.0);
+  EXPECT_LT(cost_.Rho(8), cost_.Rho(4));
+  // rho is independent of the micro-batch size by construction.
+  EXPECT_DOUBLE_EQ(cost_.ZetaSeconds(4, 3) / cost_.ZetaSeconds(1, 3),
+                   cost_.Rho(4));
+}
+
+TEST_F(CostModelTest, GroupRateIsRhoTimesMax) {
+  // y = rho_n * max{x}: the slowest member dominates (S4.2).
+  const double y = cost_.GroupRate({1.0, 2.5, 1.2, 1.0});
+  EXPECT_DOUBLE_EQ(y, cost_.Rho(4) * 2.5);
+  EXPECT_DOUBLE_EQ(cost_.GroupRate({1.0}), 1.0);
+}
+
+TEST_F(CostModelTest, TauMatchesA800Magnitude) {
+  // One 70B layer fwd+bwd on a single healthy A800 should take tens of ms
+  // at TP = 8 equivalent throughput; sanity-check the absolute scale.
+  const double tau8 = cost_.ZetaSeconds(8, 1);
+  EXPECT_GT(tau8, 0.005);
+  EXPECT_LT(tau8, 0.05);
+}
+
+TEST_F(CostModelTest, StateBytesShrinkWithDp) {
+  // ZeRO-1 shards the optimizer across DP ranks.
+  EXPECT_GT(cost_.StateBytesPerLayer(1), cost_.StateBytesPerLayer(4));
+  const double base =
+      static_cast<double>(cost_.spec().ParamsPerLayer()) *
+      cost_.config().replicated_bytes_per_param;
+  EXPECT_GT(cost_.StateBytesPerLayer(1000000), base);
+  EXPECT_NEAR(cost_.StateBytesPerLayer(1000000), base, base * 0.01);
+}
+
+TEST_F(CostModelTest, MuDecreasesAlongThePipeline) {
+  // Later stages stash fewer in-flight activations (Theorem 3's rationale).
+  const double mu1 = cost_.MuBytes(1, 1, 4, 2);
+  const double mu2 = cost_.MuBytes(1, 2, 4, 2);
+  const double mu4 = cost_.MuBytes(1, 4, 4, 2);
+  EXPECT_GT(mu1, mu2);
+  EXPECT_GT(mu2, mu4);
+  // The last stage degenerates to b * a_{f+b} + s.
+  EXPECT_DOUBLE_EQ(mu4, cost_.ActBytesFwdBwd(1) + cost_.StateBytesPerLayer(2));
+}
+
+TEST_F(CostModelTest, NuOnlyOnFirstAndLastStages) {
+  EXPECT_GT(cost_.NuBytes(1, 1, 4, 2), 0.0);
+  EXPECT_DOUBLE_EQ(cost_.NuBytes(1, 2, 4, 2), 0.0);
+  EXPECT_DOUBLE_EQ(cost_.NuBytes(1, 3, 4, 2), 0.0);
+  EXPECT_GT(cost_.NuBytes(1, 4, 4, 2), 0.0);
+  // A single-stage pipeline carries both embedding and head.
+  EXPECT_GT(cost_.NuBytes(1, 1, 1, 2), cost_.NuBytes(1, 1, 4, 2));
+}
+
+TEST_F(CostModelTest, ActivationCheckpointingShrinksStash) {
+  EXPECT_LT(cost_.ActBytesFwd(1, true), cost_.ActBytesFwd(1, false) * 0.3);
+  EXPECT_LT(cost_.MuBytes(1, 1, 8, 2, true), cost_.MuBytes(1, 1, 8, 2, false));
+}
+
+TEST_F(CostModelTest, GroupCapacityScalesWithSizeAndKeepsHeadroom) {
+  const double c1 = cost_.GroupCapacityBytes(1);
+  const double c8 = cost_.GroupCapacityBytes(8);
+  EXPECT_DOUBLE_EQ(c8, 8 * c1);
+  EXPECT_LT(c1, static_cast<double>(cost_.gpu().UsableBytes()));
+}
+
+TEST_F(CostModelTest, CommunicationVolumes) {
+  // P2P activations: bf16 hidden states.
+  EXPECT_DOUBLE_EQ(cost_.P2pActivationBytes(2),
+                   2.0 * 2.0 * cost_.spec().seq_len *
+                       cost_.spec().hidden_size);
+  EXPECT_DOUBLE_EQ(cost_.GradSyncBytesPerLayer(),
+                   2.0 * cost_.spec().ParamsPerLayer());
+  EXPECT_GT(cost_.CheckpointBytes(),
+            10.0 * static_cast<double>(cost_.spec().TotalParams()));
+}
+
+TEST_F(CostModelTest, MfuDefinition) {
+  // MFU of a hypothetical step. Doubling the time halves the MFU.
+  const double m1 = cost_.Mfu(10.0, 64, 64);
+  const double m2 = cost_.Mfu(20.0, 64, 64);
+  EXPECT_NEAR(m1, 2 * m2, 1e-12);
+  EXPECT_GT(m1, 0.0);
+  EXPECT_LT(m1, 1.5);
+}
+
+// Parameterized sweep: every valid TP degree keeps the rho/zeta identities.
+class TpDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpDegreeTest, RhoZetaConsistency) {
+  const model::CostModel cost(ModelSpec::Llama32B(), topo::GpuSpec());
+  const int n = GetParam();
+  EXPECT_TRUE(IsValidTpDegree(n));
+  EXPECT_NEAR(cost.Rho(n) * cost.ZetaSeconds(1, 2), cost.ZetaSeconds(n, 2),
+              1e-12);
+  EXPECT_LE(cost.Rho(n), 1.0);
+  EXPECT_GE(cost.Rho(n) * n, 1.0);  // No super-linear scaling.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDegrees, TpDegreeTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(TpDegreeValidityTest, OnlyPowersOfTwoUpToEight) {
+  EXPECT_TRUE(IsValidTpDegree(1));
+  EXPECT_TRUE(IsValidTpDegree(8));
+  EXPECT_FALSE(IsValidTpDegree(0));
+  EXPECT_FALSE(IsValidTpDegree(3));
+  EXPECT_FALSE(IsValidTpDegree(16));
+}
+
+}  // namespace
+}  // namespace model
+}  // namespace malleus

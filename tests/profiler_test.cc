@@ -1,0 +1,132 @@
+// Tests for core/profiler: rate estimation through noise, quantization,
+// 5% shift detection, failure tracking, and standby probes.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/profiler.h"
+
+namespace malleus {
+namespace core {
+namespace {
+
+TEST(ProfilerTest, HealthyFleetSnapsToOne) {
+  Profiler p(4);
+  Rng rng(1);
+  for (int step = 0; step < 10; ++step) {
+    std::vector<double> measured(4);
+    for (double& m : measured) m = 1.0 + rng.Normal(0.0, 0.01);
+    p.RecordStep(measured);
+  }
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_DOUBLE_EQ(p.Estimated().rate(g), 1.0);
+  }
+  EXPECT_FALSE(p.ShiftDetected());
+}
+
+TEST(ProfilerTest, StragglerDetectedThroughNoise) {
+  Profiler p(8);
+  Rng rng(2);
+  p.AcknowledgeShift();
+  std::vector<double> measured(8);
+  for (int g = 0; g < 8; ++g) measured[g] = 1.0 + rng.Normal(0.0, 0.01);
+  measured[3] = 2.6 * (1.0 + rng.Normal(0.0, 0.01));
+  p.RecordStep(measured);
+  EXPECT_TRUE(p.ShiftDetected());
+  EXPECT_NEAR(p.Estimated().rate(3), 2.6, 0.15);
+  EXPECT_DOUBLE_EQ(p.Estimated().rate(0), 1.0);
+}
+
+TEST(ProfilerTest, EquallyImpairedGpusReportIdenticalRates) {
+  // The quantization grid must collapse equally-slow GPUs onto one value,
+  // preserving the planner's "majority share y-hat" structure.
+  Profiler p(8);
+  Rng rng(3);
+  std::vector<double> measured(8);
+  for (int g = 0; g < 8; ++g) {
+    measured[g] = 2.62 * (1.0 + rng.Normal(0.0, 0.01));
+  }
+  // A healthy reference so the median normalization has an anchor.
+  measured[7] = 1.0;
+  p.RecordStep(measured);
+  const double first = p.Estimated().rate(0);
+  for (int g = 1; g < 7; ++g) {
+    EXPECT_DOUBLE_EQ(p.Estimated().rate(g), first);
+  }
+}
+
+TEST(ProfilerTest, SmallDriftDoesNotTriggerShift) {
+  Profiler p(4);
+  p.RecordStep({1.0, 1.0, 2.6, 1.0});
+  p.AcknowledgeShift();
+  // 2% wiggle on the straggler: below the 5% threshold (and within one
+  // quantization bucket).
+  p.RecordStep({1.0, 1.0, 2.65, 1.0});
+  EXPECT_FALSE(p.ShiftDetected());
+  // A genuine worsening to 3.9 is a >5% shift.
+  p.RecordStep({1.0, 1.0, 3.9, 1.0});
+  EXPECT_TRUE(p.ShiftDetected());
+}
+
+TEST(ProfilerTest, RecoveryDetected) {
+  Profiler p(4);
+  p.RecordStep({1.0, 2.6, 1.0, 1.0});
+  p.AcknowledgeShift();
+  p.RecordStep({1.0, 1.0, 1.0, 1.0});
+  EXPECT_TRUE(p.ShiftDetected());
+  EXPECT_DOUBLE_EQ(p.Estimated().rate(1), 1.0);
+}
+
+TEST(ProfilerTest, MissingMeasurementsKeepPreviousEstimate) {
+  Profiler p(4);
+  p.RecordStep({1.0, 2.6, 1.0, 1.0});
+  const double est = p.Estimated().rate(1);
+  p.RecordStep({1.0, 0.0, 1.0, 1.0});  // GPU 1 idle this step.
+  EXPECT_DOUBLE_EQ(p.Estimated().rate(1), est);
+}
+
+TEST(ProfilerTest, FailureAndProbeRecovery) {
+  Profiler p(4);
+  p.MarkFailed(2);
+  EXPECT_TRUE(p.Estimated().IsFailed(2));
+  EXPECT_TRUE(p.ShiftDetected());
+  p.AcknowledgeShift();
+  EXPECT_FALSE(p.ShiftDetected());
+  // Training measurements cannot clear a failure...
+  p.RecordStep({1.0, 1.0, 1.0, 1.0});
+  EXPECT_TRUE(p.Estimated().IsFailed(2));
+  // ...but a successful standby probe can (S5.2).
+  p.RecordProbe(2, 1.01);
+  EXPECT_FALSE(p.Estimated().IsFailed(2));
+  EXPECT_DOUBLE_EQ(p.Estimated().rate(2), 1.0);
+}
+
+TEST(ProfilerTest, ProbeFeedsStandbyRates) {
+  Profiler p(4);
+  p.RecordProbe(3, 2.6);
+  EXPECT_NEAR(p.Estimated().rate(3), 2.6, 0.1);
+}
+
+TEST(ProfilerTest, MajorityStragglingKeepsAbsoluteScale) {
+  // When most of the fleet straggles (S6), the median is itself slow; the
+  // profiler must not renormalize the stragglers back to 1.
+  Profiler p(4);
+  p.RecordStep({2.6, 2.6, 2.6, 1.0});
+  EXPECT_GT(p.Estimated().rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.Estimated().rate(3), 1.0);
+}
+
+TEST(ProfilerTest, EmaSmoothingOption) {
+  ProfilerOptions opts;
+  opts.ema_alpha = 0.5;
+  Profiler p(2, opts);
+  p.RecordStep({1.0, 3.0});
+  p.RecordStep({1.0, 1.0});
+  // Smoothed: halfway between 3 and 1 (then quantized).
+  EXPECT_GT(p.Estimated().rate(1), 1.5);
+  EXPECT_LT(p.Estimated().rate(1), 2.5);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace malleus

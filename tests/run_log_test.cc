@@ -1,0 +1,89 @@
+// Tests for core/run_log: aggregation, phase means, and CSV export.
+
+#include <gtest/gtest.h>
+
+#include "core/run_log.h"
+
+namespace malleus {
+namespace core {
+namespace {
+
+StepReport MakeReport(double step, double migration = 0.0,
+                      double recovery = 0.0, bool replanned = false) {
+  StepReport r;
+  r.step_seconds = step;
+  r.migration_seconds = migration;
+  r.recovery_seconds = recovery;
+  r.replanned = replanned;
+  return r;
+}
+
+TEST(RunLogTest, EmptySummary) {
+  RunLog log;
+  const RunLog::Summary s = log.Summarize();
+  EXPECT_EQ(s.steps, 0);
+  EXPECT_DOUBLE_EQ(s.TotalSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(log.PhaseMeanSeconds("S1"), 0.0);
+}
+
+TEST(RunLogTest, SummaryAggregates) {
+  RunLog log;
+  log.Record("Normal", MakeReport(10.0));
+  log.Record("S1", MakeReport(20.0, 2.0, 0.0, true));
+  log.Record("S1", MakeReport(12.0));
+  log.Record("S1", MakeReport(12.0, 0.0, 50.0, true));
+  const RunLog::Summary s = log.Summarize();
+  EXPECT_EQ(s.steps, 4);
+  EXPECT_EQ(s.replans, 2);
+  EXPECT_EQ(s.recoveries, 1);
+  EXPECT_DOUBLE_EQ(s.training_seconds, 54.0);
+  EXPECT_DOUBLE_EQ(s.migration_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(s.recovery_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(s.TotalSeconds(), 106.0);
+  EXPECT_NEAR(s.Efficiency(), 54.0 / 106.0, 1e-12);
+}
+
+TEST(RunLogTest, PhaseMeans) {
+  RunLog log;
+  log.Record("Normal", MakeReport(10.0));
+  log.Record("S1", MakeReport(20.0));
+  log.Record("S1", MakeReport(10.0));
+  EXPECT_DOUBLE_EQ(log.PhaseMeanSeconds("Normal"), 10.0);
+  EXPECT_DOUBLE_EQ(log.PhaseMeanSeconds("S1"), 15.0);
+}
+
+TEST(RunLogTest, CsvFormat) {
+  RunLog log;
+  log.Record("S2", MakeReport(1.5, 0.25, 0.0, true));
+  const std::string csv = log.ToCsv();
+  EXPECT_NE(csv.find("step,phase,step_seconds"), std::string::npos);
+  EXPECT_NE(csv.find("0,S2,1.5000,0.2500,0.0000,0.0000,1"), std::string::npos);
+}
+
+TEST(RunLogTest, IntegratesWithEngine) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(2);
+  const model::CostModel cost(model::ModelSpec::Llama32B(),
+                              cluster.gpu());
+  MalleusEngine engine(cluster, cost);
+  ASSERT_TRUE(engine.Initialize(64).ok());
+  RunLog log;
+  straggler::Situation healthy(cluster.num_gpus());
+  straggler::Situation s1(cluster.num_gpus());
+  s1.SetLevel(0, 1);
+  for (int i = 0; i < 3; ++i) {
+    log.Record("Normal", *engine.Step(healthy));
+  }
+  for (int i = 0; i < 3; ++i) {
+    log.Record("S1", *engine.Step(s1));
+  }
+  const RunLog::Summary s = log.Summarize();
+  EXPECT_EQ(s.steps, 6);
+  EXPECT_GE(s.replans, 1);
+  EXPECT_GT(log.PhaseMeanSeconds("S1"), 0.0);
+  EXPECT_LT(s.Efficiency(), 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace malleus

@@ -1,0 +1,393 @@
+// Tests for src/solver: simplex LP, branch-and-bound ILP, the exact
+// bottleneck-allocation solvers, and the pipeline-division MINLP.
+// Property tests cross-check the specialized solvers against the generic
+// ILP on random instances.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "solver/division.h"
+#include "solver/ilp.h"
+#include "solver/lp.h"
+#include "solver/minmax.h"
+
+namespace malleus {
+namespace solver {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------- LP ----------
+
+TEST(LpTest, SimpleTwoVariableOptimum) {
+  // min -x - 2y  s.t. x + y <= 4, x <= 3, y <= 2  -> x=2..? optimum x=2,y=2.
+  LinearProgram lp = LinearProgram::Create(2);
+  lp.objective = {-1.0, -2.0};
+  lp.AddLessEqual({1.0, 1.0}, 4.0);
+  lp.upper_bounds = {3.0, 2.0};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, -6.0, 1e-8);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol->x[1], 2.0, 1e-8);
+}
+
+TEST(LpTest, EqualityConstraint) {
+  // min x + y  s.t. x + 2y = 3, x, y >= 0  -> y = 1.5, x = 0.
+  LinearProgram lp = LinearProgram::Create(2);
+  lp.objective = {1.0, 1.0};
+  lp.AddEqual({1.0, 2.0}, 3.0);
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 1.5, 1e-8);
+}
+
+TEST(LpTest, GreaterEqualConstraint) {
+  // min x  s.t. x >= 5.
+  LinearProgram lp = LinearProgram::Create(1);
+  lp.objective = {1.0};
+  lp.AddGreaterEqual({1.0}, 5.0);
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 5.0, 1e-8);
+}
+
+TEST(LpTest, InfeasibleDetected) {
+  LinearProgram lp = LinearProgram::Create(1);
+  lp.objective = {1.0};
+  lp.AddLessEqual({1.0}, 1.0);
+  lp.AddGreaterEqual({1.0}, 2.0);
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInfeasible());
+}
+
+TEST(LpTest, UnboundedDetected) {
+  LinearProgram lp = LinearProgram::Create(1);
+  lp.objective = {-1.0};  // min -x with x unbounded above.
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(LpTest, NonZeroLowerBounds) {
+  // min x + y  s.t. x >= 2, y >= 3 via bounds.
+  LinearProgram lp = LinearProgram::Create(2);
+  lp.objective = {1.0, 1.0};
+  lp.lower_bounds = {2.0, 3.0};
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 5.0, 1e-8);
+}
+
+TEST(LpTest, DegenerateRedundantConstraints) {
+  LinearProgram lp = LinearProgram::Create(2);
+  lp.objective = {1.0, 0.0};
+  lp.AddEqual({1.0, 1.0}, 2.0);
+  lp.AddEqual({2.0, 2.0}, 4.0);  // Redundant.
+  Result<LpSolution> sol = SolveLp(lp);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, 0.0, 1e-8);
+}
+
+// ---------- ILP ----------
+
+TEST(IlpTest, RoundsAwayFractionalRelaxation) {
+  // min -x - y  s.t. 2x + 3y <= 12, 3x + 2y <= 12, integers.
+  // LP optimum (2.4, 2.4); ILP optimum is x=2,y=2 (or better along edges).
+  IntegerProgram ip = IntegerProgram::Create(2);
+  ip.lp.objective = {-1.0, -1.0};
+  ip.lp.AddLessEqual({2.0, 3.0}, 12.0);
+  ip.lp.AddLessEqual({3.0, 2.0}, 12.0);
+  Result<IlpSolution> sol = SolveIlp(ip);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, -4.0, 1e-6);
+}
+
+TEST(IlpTest, Knapsack) {
+  // max 10a + 13b + 7c with 3a + 4b + 2c <= 6, binary -> a=0? Enumerate:
+  // best is a + c = 17? a(3)+c(2)=5 -> 17; b(4)+c(2)=6 -> 20.
+  IntegerProgram ip = IntegerProgram::Create(3);
+  ip.lp.objective = {-10.0, -13.0, -7.0};
+  ip.lp.AddLessEqual({3.0, 4.0, 2.0}, 6.0);
+  ip.lp.upper_bounds = {1.0, 1.0, 1.0};
+  Result<IlpSolution> sol = SolveIlp(ip);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->objective, -20.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-6);
+  EXPECT_NEAR(sol->x[2], 1.0, 1e-6);
+}
+
+TEST(IlpTest, InfeasibleIntegerBox) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  IntegerProgram ip = IntegerProgram::Create(1);
+  ip.lp.objective = {1.0};
+  ip.lp.lower_bounds = {0.4};
+  ip.lp.upper_bounds = {0.6};
+  Result<IlpSolution> sol = SolveIlp(ip);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInfeasible());
+}
+
+TEST(IlpTest, MixedIntegerKeepsContinuousVars) {
+  // min x + y, x integer >= 1.5 -> 2; y continuous >= 0.5.
+  IntegerProgram ip = IntegerProgram::Create(2);
+  ip.integral = {true, false};
+  ip.lp.objective = {1.0, 1.0};
+  ip.lp.lower_bounds = {1.5, 0.5};
+  Result<IlpSolution> sol = SolveIlp(ip);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 0.5, 1e-6);
+}
+
+// ---------- Bottleneck allocation (Eq. 2 / Eq. 3) ----------
+
+TEST(MinMaxTest, EvenRatesSplitEvenly) {
+  Result<BottleneckSolution> sol =
+      SolveBottleneckAllocation({1.0, 1.0, 1.0, 1.0}, 32);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_DOUBLE_EQ(sol->bottleneck, 8.0);
+  for (int64_t a : sol->amounts) EXPECT_EQ(a, 8);
+}
+
+TEST(MinMaxTest, SlowEntityGetsLess) {
+  // Rates 1 and 3: 12 units -> 9 and 3 balances products at 9.
+  Result<BottleneckSolution> sol = SolveBottleneckAllocation({1.0, 3.0}, 12);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->amounts[0], 9);
+  EXPECT_EQ(sol->amounts[1], 3);
+  EXPECT_DOUBLE_EQ(sol->bottleneck, 9.0);
+}
+
+TEST(MinMaxTest, CapacitiesRespected) {
+  Result<BottleneckSolution> sol =
+      SolveBottleneckAllocation({1.0, 1.0}, {3, -1}, 10);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_LE(sol->amounts[0], 3);
+  EXPECT_EQ(sol->amounts[0] + sol->amounts[1], 10);
+  EXPECT_DOUBLE_EQ(sol->bottleneck, 7.0);
+}
+
+TEST(MinMaxTest, InfiniteRateGetsZero) {
+  Result<BottleneckSolution> sol =
+      SolveBottleneckAllocation({1.0, kInf}, 5);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->amounts[0], 5);
+  EXPECT_EQ(sol->amounts[1], 0);
+}
+
+TEST(MinMaxTest, InfeasibleWhenCapsTooSmall) {
+  Result<BottleneckSolution> sol =
+      SolveBottleneckAllocation({1.0, 1.0}, {2, 2}, 5);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInfeasible());
+}
+
+TEST(MinMaxTest, ZeroTotalIsAllZero) {
+  Result<BottleneckSolution> sol = SolveBottleneckAllocation({2.0, 5.0}, 0);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_DOUBLE_EQ(sol->bottleneck, 0.0);
+}
+
+// Cross-check the specialized solver against the generic ILP, which solves
+//   min t  s.t.  rate_j * n_j <= t, sum n_j = total, 0 <= n_j <= cap_j.
+double IlpBottleneck(const std::vector<double>& rates,
+                     const std::vector<int64_t>& caps, int64_t total) {
+  const int n = static_cast<int>(rates.size());
+  IntegerProgram ip = IntegerProgram::Create(n + 1);
+  ip.integral[n] = false;  // t is continuous.
+  ip.lp.objective.assign(n + 1, 0.0);
+  ip.lp.objective[n] = 1.0;
+  std::vector<double> sum_row(n + 1, 1.0);
+  sum_row[n] = 0.0;
+  ip.lp.AddEqual(sum_row, static_cast<double>(total));
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> row(n + 1, 0.0);
+    row[j] = rates[j];
+    row[n] = -1.0;
+    ip.lp.AddLessEqual(row, 0.0);
+    if (caps[j] >= 0) {
+      ip.lp.upper_bounds[j] = static_cast<double>(caps[j]);
+    }
+  }
+  Result<IlpSolution> sol = SolveIlp(ip);
+  if (!sol.ok()) return -1.0;
+  return sol->objective;
+}
+
+TEST(MinMaxPropertyTest, MatchesGenericIlpOnRandomInstances) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.UniformInt(2, 5));
+    std::vector<double> rates;
+    std::vector<int64_t> caps;
+    for (int j = 0; j < n; ++j) {
+      rates.push_back(rng.Uniform(0.2, 5.0));
+      caps.push_back(rng.Uniform() < 0.3 ? rng.UniformInt(1, 20) : -1);
+    }
+    const int64_t total = rng.UniformInt(1, 25);
+    Result<BottleneckSolution> fast =
+        SolveBottleneckAllocation(rates, caps, total);
+    const double ilp = IlpBottleneck(rates, caps, total);
+    if (!fast.ok()) {
+      EXPECT_LT(ilp, 0) << "specialized infeasible but ILP solved, trial "
+                        << trial;
+      continue;
+    }
+    ASSERT_GE(ilp, 0) << "ILP infeasible but specialized solved, trial "
+                      << trial;
+    EXPECT_NEAR(fast->bottleneck, ilp, 1e-5 * std::max(1.0, ilp))
+        << "trial " << trial;
+    // The assignment itself must be consistent.
+    int64_t sum = 0;
+    for (int j = 0; j < n; ++j) {
+      sum += fast->amounts[j];
+      if (caps[j] >= 0) EXPECT_LE(fast->amounts[j], caps[j]);
+      EXPECT_LE(rates[j] * fast->amounts[j], fast->bottleneck + 1e-9);
+    }
+    EXPECT_EQ(sum, total);
+  }
+}
+
+// ---------- Pipeline division (Eq. 4) ----------
+
+TEST(DivisionTest, AllFastGroupsBalance) {
+  DivisionProblem problem;
+  problem.num_pipelines = 2;
+  problem.num_fast_groups = 4;
+  problem.fast_rate = 0.5;
+  problem.total_microbatches = 32;
+  Result<DivisionResult> sol = SolveDivision(problem);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_TRUE(sol->exact);
+  EXPECT_EQ(sol->pipelines[0].num_fast, 2);
+  EXPECT_EQ(sol->pipelines[1].num_fast, 2);
+  EXPECT_EQ(sol->pipelines[0].microbatches, 16);
+  EXPECT_EQ(sol->pipelines[1].microbatches, 16);
+}
+
+TEST(DivisionTest, SlowGroupPipelineGetsLessData) {
+  DivisionProblem problem;
+  problem.num_pipelines = 2;
+  problem.num_fast_groups = 3;
+  problem.fast_rate = 1.0;
+  problem.slow_rates = {4.0};  // One heavy group.
+  problem.total_microbatches = 30;
+  Result<DivisionResult> sol = SolveDivision(problem);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  // Total capacity is 3 + 0.25 = 3.25; the slow group joins one pipeline.
+  int slow_pipe = sol->pipelines[0].slow_indices.empty() ? 1 : 0;
+  const auto& slow = sol->pipelines[slow_pipe];
+  const auto& fast = sol->pipelines[1 - slow_pipe];
+  EXPECT_EQ(slow.slow_indices.size(), 1u);
+  // Data split should track capacities.
+  EXPECT_EQ(slow.microbatches + fast.microbatches, 30);
+  EXPECT_LT(std::fabs(slow.microbatches / slow.capacity -
+                      fast.microbatches / fast.capacity),
+            1.0 / slow.capacity + 1.0 / fast.capacity);
+}
+
+TEST(DivisionTest, FeasibilityCallbackExcludesPlacements) {
+  DivisionProblem problem;
+  problem.num_pipelines = 2;
+  problem.num_fast_groups = 2;
+  problem.fast_rate = 1.0;
+  problem.slow_rates = {2.0, 2.0};
+  problem.total_microbatches = 16;
+  // Require every pipeline to contain at least two groups.
+  problem.pipeline_feasible = [](int num_fast,
+                                 const std::vector<int>& slow) {
+    return num_fast + static_cast<int>(slow.size()) >= 2;
+  };
+  Result<DivisionResult> sol = SolveDivision(problem);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  for (const auto& p : sol->pipelines) {
+    EXPECT_GE(p.num_fast + static_cast<int>(p.slow_indices.size()), 2);
+  }
+}
+
+TEST(DivisionTest, InfeasibleWhenTooFewGroups) {
+  DivisionProblem problem;
+  problem.num_pipelines = 3;
+  problem.num_fast_groups = 2;
+  problem.fast_rate = 1.0;
+  problem.total_microbatches = 8;
+  Result<DivisionResult> sol = SolveDivision(problem);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsInfeasible());
+}
+
+TEST(DivisionTest, SinglePipelineTakesEverything) {
+  DivisionProblem problem;
+  problem.num_pipelines = 1;
+  problem.num_fast_groups = 3;
+  problem.fast_rate = 1.0;
+  problem.slow_rates = {2.5};
+  problem.total_microbatches = 10;
+  Result<DivisionResult> sol = SolveDivision(problem);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_EQ(sol->pipelines[0].num_fast, 3);
+  EXPECT_EQ(sol->pipelines[0].slow_indices.size(), 1u);
+  EXPECT_EQ(sol->pipelines[0].microbatches, 10);
+}
+
+TEST(DivisionTest, LocalSearchFallbackStaysFeasible) {
+  // Enough slow groups to overflow a tiny node budget.
+  DivisionProblem problem;
+  problem.num_pipelines = 4;
+  problem.num_fast_groups = 8;
+  problem.fast_rate = 0.5;
+  for (int i = 0; i < 12; ++i) {
+    problem.slow_rates.push_back(1.0 + 0.3 * i);
+  }
+  problem.total_microbatches = 64;
+  problem.max_nodes = 50;  // Force the fallback.
+  Result<DivisionResult> sol = SolveDivision(problem);
+  ASSERT_TRUE(sol.ok()) << sol.status();
+  EXPECT_FALSE(sol->exact);
+  int fast_total = 0;
+  size_t slow_total = 0;
+  int64_t micro_total = 0;
+  for (const auto& p : sol->pipelines) {
+    fast_total += p.num_fast;
+    slow_total += p.slow_indices.size();
+    micro_total += p.microbatches;
+    EXPECT_GT(p.capacity, 0.0);
+  }
+  EXPECT_EQ(fast_total, 8);
+  EXPECT_EQ(slow_total, 12u);
+  EXPECT_EQ(micro_total, 64);
+}
+
+TEST(DivisionPropertyTest, ObjectiveMatchesReportedAssignment) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    DivisionProblem problem;
+    problem.num_pipelines = static_cast<int>(rng.UniformInt(1, 3));
+    problem.num_fast_groups = static_cast<int>(rng.UniformInt(
+        problem.num_pipelines, problem.num_pipelines + 4));
+    problem.fast_rate = rng.Uniform(0.2, 1.0);
+    const int ms = static_cast<int>(rng.UniformInt(0, 4));
+    for (int k = 0; k < ms; ++k) {
+      problem.slow_rates.push_back(rng.Uniform(1.0, 6.0));
+    }
+    problem.total_microbatches = rng.UniformInt(
+        problem.num_pipelines, 40);
+    Result<DivisionResult> sol = SolveDivision(problem);
+    ASSERT_TRUE(sol.ok()) << sol.status() << " trial " << trial;
+    double max_load = 0.0;
+    for (const auto& p : sol->pipelines) {
+      max_load = std::max(max_load, p.microbatches / p.capacity);
+    }
+    EXPECT_NEAR(sol->objective, max_load, 1e-9) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace solver
+}  // namespace malleus

@@ -1,0 +1,142 @@
+// Tests for src/straggler: level -> rate model, the canonical situations
+// S1-S6, failure marking, theoretic slowdown, and the standard trace.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "straggler/situation.h"
+
+namespace malleus {
+namespace straggler {
+namespace {
+
+TEST(RateModelTest, MatchesPaperReportedRates) {
+  // Table 4 / Appendix B.7 report level-1 ~ 2.57-2.62, level-2 ~ 3.75-3.8,
+  // level-3 ~ 5.42, level-8 ~ 12.53.
+  EXPECT_DOUBLE_EQ(RateForLevel(0), 1.0);
+  EXPECT_NEAR(RateForLevel(1), 2.6, 0.2);
+  EXPECT_NEAR(RateForLevel(2), 3.8, 0.15);
+  EXPECT_NEAR(RateForLevel(3), 5.4, 0.15);
+  EXPECT_NEAR(RateForLevel(8), 12.5, 0.1);
+}
+
+TEST(SituationTest, DefaultAllHealthy) {
+  Situation s(16);
+  EXPECT_EQ(s.num_gpus(), 16);
+  for (int g = 0; g < 16; ++g) {
+    EXPECT_DOUBLE_EQ(s.rate(g), 1.0);
+    EXPECT_FALSE(s.IsStraggler(g));
+  }
+  EXPECT_TRUE(s.Stragglers().empty());
+  EXPECT_DOUBLE_EQ(s.TheoreticSlowdown(), 1.0);
+}
+
+TEST(SituationTest, FailureMarksInfiniteRate) {
+  Situation s(8);
+  s.Fail(3);
+  EXPECT_TRUE(s.IsFailed(3));
+  EXPECT_TRUE(s.IsStraggler(3));
+  EXPECT_TRUE(std::isinf(s.rate(3)));
+}
+
+TEST(SituationTest, TheoreticSlowdownFormula) {
+  // N = 4, one straggler x = 2: 4 / (3 + 0.5) = 8/7.
+  Situation s(4);
+  s.SetRate(0, 2.0);
+  EXPECT_NEAR(s.TheoreticSlowdown(), 4.0 / 3.5, 1e-12);
+}
+
+TEST(SituationTest, TheoreticSlowdownWithFailure) {
+  // A failed GPU contributes no capacity: 4 / 3.
+  Situation s(4);
+  s.Fail(0);
+  EXPECT_NEAR(s.TheoreticSlowdown(), 4.0 / 3.0, 1e-12);
+}
+
+class CanonicalSituationTest
+    : public ::testing::TestWithParam<SituationId> {};
+
+TEST_P(CanonicalSituationTest, BuildsOnEightNodes) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(8);
+  Result<Situation> s = Situation::Canonical(cluster, GetParam());
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_gpus(), 64);
+  for (topo::GpuId g : s->Stragglers()) {
+    EXPECT_GT(s->rate(g), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSituations, CanonicalSituationTest,
+                         ::testing::Values(SituationId::kNormal,
+                                           SituationId::kS1, SituationId::kS2,
+                                           SituationId::kS3, SituationId::kS4,
+                                           SituationId::kS5,
+                                           SituationId::kS6),
+                         [](const auto& info) {
+                           return SituationName(info.param);
+                         });
+
+TEST(CanonicalSituationTest, StragglerCountsMatchDefinition) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(8);
+  auto count = [&](SituationId id) {
+    return Situation::Canonical(cluster, id)->Stragglers().size();
+  };
+  EXPECT_EQ(count(SituationId::kNormal), 0u);
+  EXPECT_EQ(count(SituationId::kS1), 1u);
+  EXPECT_EQ(count(SituationId::kS2), 1u);
+  EXPECT_EQ(count(SituationId::kS3), 2u);
+  EXPECT_EQ(count(SituationId::kS4), 3u);
+  EXPECT_EQ(count(SituationId::kS5), 9u);
+  EXPECT_EQ(count(SituationId::kS6), 8u);
+}
+
+TEST(CanonicalSituationTest, S3SpansTwoNodes) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(8);
+  Result<Situation> s = Situation::Canonical(cluster, SituationId::kS3);
+  ASSERT_TRUE(s.ok());
+  auto stragglers = s->Stragglers();
+  ASSERT_EQ(stragglers.size(), 2u);
+  EXPECT_NE(cluster.NodeOf(stragglers[0]), cluster.NodeOf(stragglers[1]));
+}
+
+TEST(CanonicalSituationTest, S5IsNodeOfLevel1PlusLevel2Elsewhere) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(8);
+  Result<Situation> s = Situation::Canonical(cluster, SituationId::kS5);
+  ASSERT_TRUE(s.ok());
+  for (int g = 0; g < 8; ++g) {
+    EXPECT_DOUBLE_EQ(s->rate(g), RateForLevel(1));
+  }
+  EXPECT_DOUBLE_EQ(s->rate(8), RateForLevel(2));
+}
+
+TEST(CanonicalSituationTest, RejectsTooSmallCluster) {
+  const topo::ClusterSpec one_node = topo::ClusterSpec::A800Cluster(1);
+  EXPECT_FALSE(Situation::Canonical(one_node, SituationId::kS4).ok());
+  EXPECT_TRUE(Situation::Canonical(one_node, SituationId::kS1).ok());
+}
+
+TEST(TraceTest, StandardTraceShape) {
+  const auto trace = StandardTrace(12);
+  ASSERT_EQ(trace.size(), 8u);
+  EXPECT_EQ(trace.front().id, SituationId::kNormal);
+  EXPECT_EQ(trace.back().id, SituationId::kNormal);
+  EXPECT_EQ(trace[5].id, SituationId::kS5);  // Most severe second to last.
+  EXPECT_EQ(trace[6].id, SituationId::kS6);
+  for (const TracePhase& p : trace) EXPECT_EQ(p.steps, 12);
+}
+
+TEST(SituationTest, ToStringListsStragglersOnly) {
+  Situation s(8);
+  EXPECT_EQ(s.ToString(), "Situation(no stragglers)");
+  s.SetLevel(2, 1);
+  s.Fail(5);
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("x2="), std::string::npos);
+  EXPECT_NE(str.find("x5=FAILED"), std::string::npos);
+  EXPECT_EQ(str.find("x0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace straggler
+}  // namespace malleus

@@ -1,0 +1,77 @@
+// Tests for src/topology: cluster shape, id mapping, link model.
+
+#include <gtest/gtest.h>
+
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace topo {
+namespace {
+
+TEST(ClusterTest, A800Defaults) {
+  const ClusterSpec c = ClusterSpec::A800Cluster(8);
+  EXPECT_EQ(c.num_nodes(), 8);
+  EXPECT_EQ(c.gpus_per_node(), 8);
+  EXPECT_EQ(c.num_gpus(), 64);
+  EXPECT_DOUBLE_EQ(c.gpu().peak_tflops, 312.0);
+  EXPECT_EQ(c.gpu().memory_bytes, 80ULL << 30);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ClusterTest, NodeMapping) {
+  const ClusterSpec c(4, 8);
+  EXPECT_EQ(c.NodeOf(0), 0);
+  EXPECT_EQ(c.NodeOf(7), 0);
+  EXPECT_EQ(c.NodeOf(8), 1);
+  EXPECT_EQ(c.NodeOf(31), 3);
+  EXPECT_EQ(c.LocalIndexOf(13), 5);
+  EXPECT_TRUE(c.SameNode(8, 15));
+  EXPECT_FALSE(c.SameNode(7, 8));
+}
+
+TEST(ClusterTest, GpusOnNode) {
+  const ClusterSpec c(2, 4);
+  EXPECT_EQ(c.GpusOnNode(1), (std::vector<GpuId>{4, 5, 6, 7}));
+  EXPECT_EQ(c.AllGpus().size(), 8u);
+}
+
+TEST(ClusterTest, ValidGpuRange) {
+  const ClusterSpec c(2, 4);
+  EXPECT_TRUE(c.ValidGpu(0));
+  EXPECT_TRUE(c.ValidGpu(7));
+  EXPECT_FALSE(c.ValidGpu(8));
+  EXPECT_FALSE(c.ValidGpu(-1));
+}
+
+TEST(ClusterTest, BandwidthIntraVsInter) {
+  const ClusterSpec c(2, 8);
+  EXPECT_GT(c.BandwidthBytesPerSec(0, 1), c.BandwidthBytesPerSec(0, 8));
+  EXPECT_DOUBLE_EQ(c.BandwidthBytesPerSec(0, 1), 400e9);
+  EXPECT_DOUBLE_EQ(c.BandwidthBytesPerSec(0, 8), 200e9);
+  EXPECT_LT(c.LatencySec(0, 1), c.LatencySec(0, 8));
+}
+
+TEST(ClusterTest, UsableBytesExcludesReservedGap) {
+  GpuSpec g;
+  EXPECT_EQ(g.UsableBytes(), (80ULL << 30) - (4096ULL << 20));
+  GpuSpec tiny;
+  tiny.memory_bytes = 1 << 20;
+  tiny.reserved_bytes = 2 << 20;
+  EXPECT_EQ(tiny.UsableBytes(), 0u);
+}
+
+TEST(ClusterTest, ValidationCatchesBadShapes) {
+  EXPECT_FALSE(ClusterSpec(0, 8).Validate().ok());
+  EXPECT_FALSE(ClusterSpec(2, 0).Validate().ok());
+  GpuSpec bad;
+  bad.peak_tflops = -1;
+  EXPECT_FALSE(ClusterSpec(2, 8, bad).Validate().ok());
+  GpuSpec oom;
+  oom.memory_bytes = 1;
+  oom.reserved_bytes = 2;
+  EXPECT_FALSE(ClusterSpec(2, 8, oom).Validate().ok());
+}
+
+}  // namespace
+}  // namespace topo
+}  // namespace malleus

@@ -1,0 +1,161 @@
+// Tests for core/work_assignment: the Eq. (2) layer ILP (with the Appendix
+// B.4 memory caps) and the Eq. (3) data ILP, in both non-uniform and
+// uniform (ablation) modes.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/work_assignment.h"
+#include "model/cost_model.h"
+
+namespace malleus {
+namespace core {
+namespace {
+
+class WorkAssignmentTest : public ::testing::Test {
+ protected:
+  model::CostModel cost_{model::ModelSpec::Llama32B(), topo::GpuSpec()};
+};
+
+TEST_F(WorkAssignmentTest, CapsDecreaseTowardEarlyStages) {
+  // Early stages stash more activations -> fewer layers fit.
+  const std::vector<int64_t> caps =
+      StageLayerCapacities({8, 8, 8, 8}, /*micro_batch=*/4, /*dp=*/2, cost_);
+  ASSERT_EQ(caps.size(), 4u);
+  EXPECT_LE(caps[0], caps[1]);
+  EXPECT_LE(caps[1], caps[2]);
+  for (int64_t c : caps) EXPECT_GT(c, 0);
+}
+
+TEST_F(WorkAssignmentTest, CapsScaleWithGroupSize) {
+  const std::vector<int64_t> big =
+      StageLayerCapacities({8, 8}, 1, 2, cost_);
+  const std::vector<int64_t> small =
+      StageLayerCapacities({2, 2}, 1, 2, cost_);
+  EXPECT_GT(big[0], 3 * small[0]);
+}
+
+TEST_F(WorkAssignmentTest, EvenRatesSplitLayersEvenly) {
+  Result<LayerAssignment> r = AssignLayers(
+      {0.2, 0.2, 0.2, 0.2}, {8, 8, 8, 8}, 1, 2, cost_);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->layers, (std::vector<int>{15, 15, 15, 15}));
+  EXPECT_DOUBLE_EQ(r->bottleneck, 0.2 * 15);
+}
+
+TEST_F(WorkAssignmentTest, SlowStageGetsFewerLayers) {
+  Result<LayerAssignment> r = AssignLayers(
+      {0.6, 0.2, 0.2, 0.2}, {8, 8, 8, 8}, 1, 2, cost_);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(std::accumulate(r->layers.begin(), r->layers.end(), 0), 60);
+  EXPECT_LT(r->layers[0], r->layers[1]);
+  // Bottleneck must match the actual assignment.
+  double expected = 0.0;
+  const std::vector<double> rates = {0.6, 0.2, 0.2, 0.2};
+  for (int j = 0; j < 4; ++j) {
+    expected = std::max(expected, rates[j] * r->layers[j]);
+  }
+  EXPECT_DOUBLE_EQ(r->bottleneck, expected);
+}
+
+TEST_F(WorkAssignmentTest, HopelessStageGetsZeroLayers) {
+  // A group straggling 50x harder should be cut entirely (S4.2: "solving
+  // these ILP problems can automatically assign zero layers").
+  Result<LayerAssignment> r = AssignLayers(
+      {10.0, 0.2, 0.2, 0.2}, {1, 8, 8, 8}, 1, 2, cost_);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->layers[0], 0);
+}
+
+TEST_F(WorkAssignmentTest, UniformModeChecksMemory) {
+  // Even split of 60 layers across tiny groups overflows the early stage.
+  Result<LayerAssignment> r = AssignLayers(
+      {1.0, 1.0}, {1, 1}, /*micro_batch=*/4, /*dp=*/2, cost_,
+      /*nonuniform=*/false);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(WorkAssignmentTest, UniformModeEvenSplitWithRemainder) {
+  model::CostModel tiny(model::ModelSpec::Tiny(14, 1024), topo::GpuSpec());
+  Result<LayerAssignment> r = AssignLayers(
+      {1.0, 1.0, 1.0, 1.0}, {2, 2, 2, 2}, 1, 2, tiny, /*nonuniform=*/false);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->layers, (std::vector<int>{3, 3, 4, 4}));
+}
+
+TEST_F(WorkAssignmentTest, InfeasibleWhenModelCannotFit) {
+  // Two single-GPU stages cannot hold 60 layers of 32B at all.
+  Result<LayerAssignment> r =
+      AssignLayers({1.0, 1.0}, {1, 1}, 4, 2, cost_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInfeasible());
+}
+
+TEST(AssignDataTest, EvenBottlenecksSplitEvenly) {
+  Result<std::vector<int64_t>> m = AssignData({3.0, 3.0, 3.0, 3.0}, 64);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, (std::vector<int64_t>{16, 16, 16, 16}));
+}
+
+TEST(AssignDataTest, SlowPipelineGetsLessData) {
+  Result<std::vector<int64_t>> m = AssignData({9.0, 3.0}, 12);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, (std::vector<int64_t>{3, 9}));
+}
+
+TEST(AssignDataTest, EveryPipelineGetsAtLeastOne) {
+  // An extremely slow pipeline still carries >= 1 micro-batch: the planner
+  // removes groups, not whole pipelines.
+  Result<std::vector<int64_t>> m = AssignData({1000.0, 1.0, 1.0}, 10);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GE((*m)[0], 1);
+  EXPECT_EQ((*m)[0] + (*m)[1] + (*m)[2], 10);
+}
+
+TEST(AssignDataTest, UniformModeIgnoresBottlenecks) {
+  Result<std::vector<int64_t>> m =
+      AssignData({9.0, 1.0, 1.0}, 10, /*nonuniform=*/false);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, (std::vector<int64_t>{4, 3, 3}));
+}
+
+TEST(AssignDataTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(AssignData({}, 8).ok());
+  EXPECT_FALSE(AssignData({1.0, 1.0, 1.0}, 2).ok());  // Fewer than DP.
+  EXPECT_FALSE(AssignData({0.0, 1.0}, 8).ok());
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AssignData({inf, 1.0}, 8).ok());
+}
+
+// Parameterized sweep: the Eq. (3) assignment is optimal (min-max product)
+// for a spread of bottleneck vectors, verified by brute force over small
+// totals.
+class AssignDataSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(AssignDataSweep, MatchesBruteForceMinMax) {
+  const std::vector<double> o = {2.0, 1.0, 0.5};
+  const int64_t total = GetParam();
+  Result<std::vector<int64_t>> got = AssignData(o, total);
+  ASSERT_TRUE(got.ok());
+  double got_obj = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    got_obj = std::max(got_obj, o[i] * (*got)[i]);
+  }
+  double best = 1e30;
+  for (int64_t a = 1; a <= total - 2; ++a) {
+    for (int64_t b = 1; b <= total - a - 1; ++b) {
+      const int64_t c = total - a - b;
+      best = std::min(best,
+                      std::max({o[0] * a, o[1] * b, o[2] * c}));
+    }
+  }
+  EXPECT_NEAR(got_obj, best, 1e-9) << "total=" << total;
+}
+
+INSTANTIATE_TEST_SUITE_P(Totals, AssignDataSweep,
+                         ::testing::Values(3, 5, 8, 13, 21, 34, 64));
+
+}  // namespace
+}  // namespace core
+}  // namespace malleus
