@@ -145,5 +145,6 @@ void Run() {
 int main() {
   std::printf("Malleus reproduction: Figure 10 cost-model validation\n\n");
   malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("fig10_costmodel");
   return 0;
 }

@@ -171,5 +171,6 @@ void Run() {
 int main() {
   std::printf("Malleus reproduction: Figure 11 grouping-estimate fidelity\n\n");
   malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("fig11_grouping");
   return 0;
 }

@@ -66,5 +66,6 @@ void Run() {
 int main() {
   std::printf("Malleus reproduction: Figure 8 Oobleck comparison\n\n");
   malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("fig8_oobleck");
   return 0;
 }

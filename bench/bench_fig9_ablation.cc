@@ -122,5 +122,6 @@ void Run() {
 int main() {
   std::printf("Malleus reproduction: Figure 9 ablation\n\n");
   malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("fig9_ablation");
   return 0;
 }

@@ -155,5 +155,6 @@ int main() {
   for (const malleus::bench::Workload& w : malleus::bench::AllWorkloads()) {
     malleus::bench::RunWorkload(w);
   }
+  malleus::bench::DumpBenchMetrics("table2_fig7");
   return 0;
 }

@@ -87,5 +87,6 @@ int main() {
   for (const malleus::bench::Workload& w : malleus::bench::AllWorkloads()) {
     malleus::bench::RunWorkload(w);
   }
+  malleus::bench::DumpBenchMetrics("table3_optimality");
   return 0;
 }

@@ -50,5 +50,6 @@ int main() {
                           malleus::straggler::SituationId::kS4);
   malleus::bench::RunCase(malleus::bench::Workload32B(),
                           malleus::straggler::SituationId::kS5);
+  malleus::bench::DumpBenchMetrics("table4_cases");
   return 0;
 }

@@ -85,5 +85,6 @@ void Run() {
 int main() {
   std::printf("Malleus reproduction: Table 5 planner scalability\n\n");
   malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("table5_scalability");
   return 0;
 }

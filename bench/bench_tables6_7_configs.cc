@@ -82,5 +82,6 @@ void Run() {
 int main() {
   std::printf("Malleus reproduction: Tables 6-7 restart configurations\n\n");
   malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("tables6_7_configs");
   return 0;
 }

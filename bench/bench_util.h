@@ -4,6 +4,9 @@
 #define MALLEUS_BENCH_BENCH_UTIL_H_
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "model/cost_model.h"
+#include "obs/metrics.h"
 #include "topology/cluster.h"
 
 namespace malleus {
@@ -91,6 +95,35 @@ inline double GeoMean(const std::vector<double>& values) {
   double log_sum = 0.0;
   for (double v : values) log_sum += std::log(v);
   return std::exp(log_sum / values.size());
+}
+
+/// Attaches the global metrics snapshot to the bench's machine-readable
+/// output. Call at the end of main():
+///   - MALLEUS_BENCH_METRICS_OUT=FILE writes
+///     {"bench":"<name>","metrics":{...}} JSON to FILE (planner solve-time
+///     histograms, solver node counts, engine replan/migration counters);
+///   - MALLEUS_BENCH_METRICS=1 prints the text dump to stderr.
+inline void DumpBenchMetrics(const char* bench_name) {
+  const auto& registry = obs::MetricsRegistry::Global();
+  if (const char* path = std::getenv("MALLEUS_BENCH_METRICS_OUT");
+      path != nullptr && *path != '\0') {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench metrics to %s\n", path);
+    } else {
+      const std::string json =
+          StrFormat("{\"bench\":\"%s\",\"metrics\":%s}\n",
+                    JsonEscape(bench_name).c_str(),
+                    registry.ToJson().c_str());
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (const char* flag = std::getenv("MALLEUS_BENCH_METRICS");
+      flag != nullptr && std::strcmp(flag, "1") == 0) {
+    std::fprintf(stderr, "-- %s metrics --\n%s", bench_name,
+                 registry.ToText().c_str());
+  }
 }
 
 }  // namespace bench

@@ -1,7 +1,7 @@
 // Scenario runner: drive Malleus (and optionally the baselines) through an
 // arbitrary straggler trace from the command line.
 //
-//   $ ./examples/scenario_cli --model=70b --nodes=8 --steps=6 \
+//   $ ./examples/scenario_cli --model=70b --nodes=8 --steps=6
 //         --trace=normal,s1,s4,normal --baselines
 //
 // Flags:
@@ -12,6 +12,16 @@
 //   --trace=p1,p2,...           phases: normal,s1..s6   (default full trace)
 //   --seed=S                    simulator seed          (default 42)
 //   --baselines                 also run Megatron/DeepSpeed for comparison
+//
+// Observability outputs (all produced from the Malleus run only):
+//   --trace-out=FILE    Chrome trace-event JSON of every 1F1B stage task,
+//                       P2P transfer, grad-sync phase and engine transition
+//                       (open in Perfetto / chrome://tracing)
+//   --metrics-out=FILE  metrics registry snapshot as JSON (planner solve
+//                       times, replan/migration counters, solver stats)
+//   --events-out=FILE   run telemetry as JSONL (steps + typed engine
+//                       events with plan fingerprints)
+//   --csv-out=FILE      per-step run log as CSV
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +35,9 @@
 #include "baselines/trace_runner.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "core/run_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace malleus;
 
@@ -38,7 +51,23 @@ struct Args {
   std::vector<std::string> trace;
   uint64_t seed = 42;
   bool baselines = false;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string events_out;
+  std::string csv_out;
 };
+
+// Writes `content` to `path`; complains to stderr on failure.
+bool WriteFileOrWarn(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, Args* out) {
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +97,14 @@ bool ParseArgs(int argc, char** argv, Args* out) {
           phase += *c;
         }
       }
+    } else if (const char* v = value("--trace-out=")) {
+      out->trace_out = v;
+    } else if (const char* v = value("--metrics-out=")) {
+      out->metrics_out = v;
+    } else if (const char* v = value("--events-out=")) {
+      out->events_out = v;
+    } else if (const char* v = value("--csv-out=")) {
+      out->csv_out = v;
     } else if (arg == "--baselines") {
       out->baselines = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -108,7 +145,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--model=32b|70b|110b|tiny] [--nodes=N] "
                  "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
-                 "[--seed=S] [--baselines]\n",
+                 "[--seed=S] [--baselines] [--trace-out=FILE] "
+                 "[--metrics-out=FILE] [--events-out=FILE] "
+                 "[--csv-out=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -146,8 +185,16 @@ int main(int argc, char** argv) {
                static_cast<long long>(args.batch));
 
   std::vector<std::unique_ptr<baselines::TrainingFramework>> frameworks;
+  obs::TraceRecorder trace_recorder;
+  core::RunLog run_log;
   core::EngineOptions eng;
   eng.seed = args.seed;
+  // Replace the planner's measured wall time by a representative constant
+  // so every exported artifact is byte-reproducible for a fixed --seed.
+  eng.planning_seconds_override = 0.02;
+  if (!args.trace_out.empty()) {
+    eng.sim.trace = &trace_recorder;
+  }
   frameworks.push_back(
       std::make_unique<baselines::MalleusFramework>(cluster, cost, eng));
   if (args.baselines) {
@@ -169,8 +216,10 @@ int main(int argc, char** argv) {
   table.SetHeader(std::move(header));
 
   for (auto& fw : frameworks) {
+    baselines::TraceRunOptions run_opts;
+    if (fw->name() == "Malleus") run_opts.run_log = &run_log;
     Result<std::vector<baselines::PhaseStats>> stats =
-        baselines::RunTrace(fw.get(), cluster, trace, args.batch);
+        baselines::RunTrace(fw.get(), cluster, trace, args.batch, run_opts);
     if (!stats.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", fw->name().c_str(),
                    stats.status().ToString().c_str());
@@ -189,5 +238,38 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print();
-  return 0;
+
+  int rc = 0;
+  if (!args.trace_out.empty()) {
+    if (WriteFileOrWarn(args.trace_out, trace_recorder.ToChromeTraceJson())) {
+      std::printf("\nwrote step trace (%zu events) to %s\n",
+                  trace_recorder.num_events(), args.trace_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  if (!args.metrics_out.empty()) {
+    if (WriteFileOrWarn(args.metrics_out,
+                        obs::MetricsRegistry::Global().ToJson() + "\n")) {
+      std::printf("wrote metrics snapshot to %s\n", args.metrics_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  if (!args.events_out.empty()) {
+    if (WriteFileOrWarn(args.events_out, run_log.ToJsonl())) {
+      std::printf("wrote %d steps + %zu events to %s\n", run_log.num_steps(),
+                  run_log.events().size(), args.events_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  if (!args.csv_out.empty()) {
+    if (WriteFileOrWarn(args.csv_out, run_log.ToCsv())) {
+      std::printf("wrote run log CSV to %s\n", args.csv_out.c_str());
+    } else {
+      rc = 1;
+    }
+  }
+  return rc;
 }

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/engine.h"
 #include "model/cost_model.h"
 #include "straggler/situation.h"
 #include "topology/cluster.h"
@@ -50,6 +51,13 @@ class TrainingFramework {
   /// Simulated wall time of one training step under `situation`.
   virtual Result<double> StepSeconds(
       const straggler::Situation& situation) = 0;
+
+  /// The detailed report of the most recent StepSeconds() call, for
+  /// frameworks that produce one (Malleus does); nullptr otherwise. Used by
+  /// the trace runner to feed a core::RunLog.
+  virtual const core::StepReport* last_step_report() const {
+    return nullptr;
+  }
 };
 
 }  // namespace baselines

@@ -43,6 +43,9 @@ class MalleusFramework : public TrainingFramework {
 
   core::MalleusEngine& engine() { return engine_; }
   const core::StepReport& last_report() const { return last_report_; }
+  const core::StepReport* last_step_report() const override {
+    return &last_report_;
+  }
 
  private:
   core::MalleusEngine engine_;

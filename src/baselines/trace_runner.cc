@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/run_log.h"
+
 namespace malleus {
 namespace baselines {
 
@@ -32,6 +34,15 @@ Result<std::vector<PhaseStats>> RunTrace(
       Result<double> t = framework->StepSeconds(*situation);
       MALLEUS_RETURN_NOT_OK(t.status());
       stats.step_seconds.push_back(*t);
+      if (options.run_log != nullptr) {
+        core::StepReport report;
+        if (const core::StepReport* last = framework->last_step_report()) {
+          report = *last;
+        } else {
+          report.step_seconds = *t;
+        }
+        options.run_log->Record(straggler::SituationName(phase.id), report);
+      }
     }
 
     const int warmup = std::max(

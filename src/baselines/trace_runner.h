@@ -12,6 +12,11 @@
 #include "topology/cluster.h"
 
 namespace malleus {
+
+namespace core {
+class RunLog;
+}  // namespace core
+
 namespace baselines {
 
 /// Statistics of one trace phase for one framework.
@@ -32,6 +37,11 @@ struct TraceRunOptions {
   int steps_per_phase = 10;
   /// Steps excluded from the phase mean (adaptation transient).
   int warmup_steps = 3;
+  /// When set, every step is also recorded here under the phase's
+  /// situation name. Frameworks that expose a detailed StepReport (see
+  /// TrainingFramework::last_step_report) contribute it verbatim; others
+  /// contribute a report carrying just the step time.
+  core::RunLog* run_log = nullptr;
 };
 
 /// Runs `framework` through `trace` and returns per-phase statistics.

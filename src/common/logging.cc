@@ -1,13 +1,46 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace malleus {
 
 namespace {
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+// Startup log level: MALLEUS_LOG_LEVEL=debug|info|warning|error (also
+// accepts "warn"; case-insensitive) overrides the kInfo default, so
+// examples and benches can be made verbose without recompiling.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("MALLEUS_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string v;
+  for (const char* p = env; *p; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn") return LogLevel::kWarning;
+  if (v == "error") return LogLevel::kError;
+  std::fprintf(stderr,
+               "[WARN logging.cc] unknown MALLEUS_LOG_LEVEL '%s' "
+               "(want debug|info|warning|error); using info\n",
+               env);
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_log_level{InitialLogLevel()};
+
+// Serializes writes to stderr so concurrent threads (e.g. an overlapped
+// planner run) cannot interleave log lines. Leaked to dodge destruction-
+// order issues with logging from static destructors.
+std::mutex& StderrMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -40,7 +73,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel()) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(StderrMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 
@@ -51,7 +86,11 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  const std::string line = stream_.str();
+  {
+    std::lock_guard<std::mutex> lock(StderrMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
   std::abort();
 }
 

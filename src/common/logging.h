@@ -10,7 +10,8 @@ namespace malleus {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the minimum level that is actually emitted (default: kInfo).
+/// Sets the minimum level that is actually emitted. The default is kInfo,
+/// overridable at startup with MALLEUS_LOG_LEVEL=debug|info|warning|error.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

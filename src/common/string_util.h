@@ -27,6 +27,14 @@ std::string FormatBytes(uint64_t bytes);
 /// Human-readable duration from seconds, e.g. "1.25 s" or "320 ms".
 std::string FormatSeconds(double seconds);
 
+/// RFC 4180 CSV field: quoted (with embedded quotes doubled) iff the field
+/// contains a comma, quote, CR or LF; returned verbatim otherwise.
+std::string CsvEscape(const std::string& field);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters); adds no surrounding quotes.
+std::string JsonEscape(const std::string& s);
+
 }  // namespace malleus
 
 #endif  // MALLEUS_COMMON_STRING_UTIL_H_

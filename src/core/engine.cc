@@ -5,9 +5,21 @@
 
 #include "common/string_util.h"
 #include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace malleus {
 namespace core {
+
+namespace {
+
+// Transition spans/instants go on a dedicated engine track so re-planning
+// and migration overheads are visible next to the per-stage timelines.
+obs::TrackId EngineTrack(obs::TraceRecorder* trace) {
+  return trace->Track("engine", "transitions");
+}
+
+}  // namespace
 
 MalleusEngine::MalleusEngine(const topo::ClusterSpec& cluster,
                              const model::CostModel& cost,
@@ -81,7 +93,7 @@ Result<StepReport> MalleusEngine::RecoverFromFailure(
   }
   Result<PlanResult> planned = Replan();
   MALLEUS_RETURN_NOT_OK(planned.status());
-  report.planning_seconds = planned->timings.total_seconds;
+  report.planning_seconds = PlanningSeconds(planned->timings);
   // Failure halts training: planning is not overlapped here, and the model
   // states are re-loaded from the latest checkpoint (S5.1).
   report.planning_overflow_seconds = report.planning_seconds;
@@ -94,7 +106,28 @@ Result<StepReport> MalleusEngine::RecoverFromFailure(
   io_config.per_node_io_gbps = options_.restart_cost.per_node_io_gbps;
   report.recovery_seconds = CheckpointIoSeconds(*load, cluster_, io_config);
   report.replanned = true;
+  report.plan_signature = executor_.current_plan().Signature();
   profiler_->AcknowledgeShift();
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("engine.replans")->Increment();
+  registry.GetCounter("engine.recoveries")->Increment();
+  registry.GetHistogram("engine.recovery_seconds")
+      ->Observe(report.recovery_seconds);
+
+  // The failure stalls training: planning + checkpoint reload happen before
+  // the step, so the step's spans start after the recovery span.
+  if (options_.sim.trace != nullptr) {
+    const double stall =
+        report.planning_overflow_seconds + report.recovery_seconds;
+    options_.sim.trace->AddSpan(
+        "recover", "engine", EngineTrack(options_.sim.trace),
+        options_.sim.trace_time_offset_seconds, stall,
+        {obs::TraceArg::Num("planning_seconds", report.planning_seconds),
+         obs::TraceArg::Num("recovery_seconds", report.recovery_seconds),
+         obs::TraceArg::Str("plan", report.plan_signature)});
+    options_.sim.trace_time_offset_seconds += stall;
+  }
 
   Result<sim::StepResult> step =
       sim::SimulateStep(cluster_, cost_, executor_.current_plan(), truth,
@@ -103,6 +136,11 @@ Result<StepReport> MalleusEngine::RecoverFromFailure(
   profiler_->RecordStep(step->measured_rates);
   report.step_seconds = step->step_seconds;
   report.note = "recovered from GPU failure via checkpoint reload";
+  registry.GetCounter("engine.steps")->Increment();
+  registry.GetHistogram("engine.step_seconds")->Observe(report.step_seconds);
+  if (options_.sim.trace != nullptr) {
+    options_.sim.trace_time_offset_seconds += report.step_seconds;
+  }
   return report;
 }
 
@@ -138,17 +176,59 @@ Result<StepReport> MalleusEngine::Step(const straggler::Situation& truth) {
   StepReport report;
   report.step_seconds = step->step_seconds;
 
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("engine.steps")->Increment();
+  registry.GetHistogram("engine.step_seconds")->Observe(report.step_seconds);
+
+  // Emits transition telemetry and advances the trace timeline past this
+  // step; every exit of the straggler (non-failure) path funnels through.
+  auto finish = [this, &registry](StepReport r) {
+    if (r.replanned) {
+      registry.GetCounter("engine.replans")->Increment();
+      // Asynchronous re-planning (S5.3) hides min(planning, step) of the
+      // planner's wall time behind training.
+      registry.GetCounter("engine.planning_overlap_saved_seconds")
+          ->Increment(std::min(r.planning_seconds, r.step_seconds));
+      if (r.migration_seconds > 0) {
+        registry.GetCounter("engine.migrations")->Increment();
+        registry.GetHistogram("engine.migration_seconds")
+            ->Observe(r.migration_seconds);
+      }
+    }
+    if (obs::TraceRecorder* trace = options_.sim.trace) {
+      const double step_end =
+          options_.sim.trace_time_offset_seconds + r.step_seconds;
+      if (r.replanned) {
+        trace->AddInstant(
+            "replan", "engine", EngineTrack(trace), step_end,
+            {obs::TraceArg::Num("planning_seconds", r.planning_seconds),
+             obs::TraceArg::Num("overflow_seconds",
+                                r.planning_overflow_seconds),
+             obs::TraceArg::Str("plan", r.plan_signature)});
+      }
+      if (r.migration_seconds > 0) {
+        trace->AddSpan("migrate", "engine", EngineTrack(trace), step_end,
+                       r.migration_seconds,
+                       {obs::TraceArg::Str("note", r.note)});
+      }
+      options_.sim.trace_time_offset_seconds += r.TotalSeconds();
+    }
+    return r;
+  };
+
   if (profiler_->ShiftDetected()) {
+    registry.GetCounter("profiler.shifts_detected")->Increment();
     Result<PlanResult> planned = Replan();
     if (!planned.ok()) {
       // Keep training with the current plan; try again on the next shift.
+      registry.GetCounter("engine.replan_failures")->Increment();
       report.note = StrFormat("re-planning failed: %s",
                               planned.status().ToString().c_str());
       profiler_->AcknowledgeShift();
-      return report;
+      return finish(std::move(report));
     }
     report.replanned = true;
-    report.planning_seconds = planned->timings.total_seconds;
+    report.planning_seconds = PlanningSeconds(planned->timings);
     // Asynchronous re-planning (S5.3): the search overlaps with training;
     // only time beyond one step would stall the GPUs.
     report.planning_overflow_seconds =
@@ -158,6 +238,7 @@ Result<StepReport> MalleusEngine::Step(const straggler::Situation& truth) {
     MALLEUS_RETURN_NOT_OK(migrated.status());
     if (!migrated->no_op) {
       report.migration_seconds = migrated->seconds;
+      report.plan_signature = executor_.current_plan().Signature();
       report.note = StrFormat("migrated %s in %d transfers",
                               FormatBytes(static_cast<uint64_t>(
                                   migrated->bytes)).c_str(),
@@ -167,7 +248,7 @@ Result<StepReport> MalleusEngine::Step(const straggler::Situation& truth) {
     }
     profiler_->AcknowledgeShift();
   }
-  return report;
+  return finish(std::move(report));
 }
 
 }  // namespace core

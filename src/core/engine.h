@@ -34,6 +34,12 @@ struct EngineOptions {
   sim::RestartCostConfig restart_cost;
   /// Keep the DP degree fixed after initialization (paper footnote 2).
   bool keep_dp_degree = true;
+  /// When >= 0, StepReport::planning_seconds uses this fixed value instead
+  /// of the planner's measured wall time. Measured time is the honest
+  /// overlap model (S5.3) but makes step reports -- and thus trace/JSONL
+  /// exports -- vary run to run; tools that need byte-reproducible output
+  /// for a fixed seed set a representative constant here.
+  double planning_seconds_override = -1.0;
   uint64_t seed = 42;
 };
 
@@ -51,6 +57,9 @@ struct StepReport {
   double planning_overflow_seconds = 0.0;
   bool replanned = false;
   std::string note;
+  /// Fingerprint of the plan adopted this step (plan::ParallelPlan::
+  /// Signature()); set only when a re-plan installed a different plan.
+  std::string plan_signature;
 
   /// Total wall-clock cost of the step including transition overheads.
   double TotalSeconds() const {
@@ -86,6 +95,13 @@ class MalleusEngine {
 
   /// Runs the planner on the profiler's estimated situation.
   Result<PlanResult> Replan();
+
+  /// Measured planner wall time, or the configured deterministic override.
+  double PlanningSeconds(const PlannerTimings& timings) const {
+    return options_.planning_seconds_override >= 0
+               ? options_.planning_seconds_override
+               : timings.total_seconds;
+  }
 
   /// Failure path: mark dead GPUs, replan, reload from checkpoint.
   Result<StepReport> RecoverFromFailure(const straggler::Situation& truth);

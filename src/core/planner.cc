@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/work_assignment.h"
+#include "obs/metrics.h"
 #include "plan/estimator.h"
 
 namespace malleus {
@@ -34,6 +35,8 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
   }
 
   PlannerTimings timings;
+  int64_t candidates_explored = 0;
+  int64_t candidates_feasible = 0;
   bool found = false;
   PlanResult best;
   best.estimated_seconds = std::numeric_limits<double>::infinity();
@@ -73,6 +76,7 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
       const int64_t total_micro = global_batch / b;
       for (int dp : dp_candidates) {
         if (dp > num_groups || total_micro < dp) continue;
+        ++candidates_explored;
 
         OrchestrationOptions oopts;
         oopts.nonuniform_layers = options.nonuniform_layers;
@@ -133,6 +137,7 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
           last_error = std::move(valid);
           continue;
         }
+        ++candidates_feasible;
 
         // Candidates are ranked by the full closed-form estimate (warm-up
         // + 1F1B + cool-down): the simplified objective drives the inner
@@ -151,8 +156,27 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
     }
   }
 
-  if (!found) return last_error;
   timings.total_seconds = Elapsed(t_total);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("planner.solves")->Increment();
+  registry.GetCounter("planner.candidates_explored")
+      ->Increment(static_cast<double>(candidates_explored));
+  registry.GetCounter("planner.candidates_feasible")
+      ->Increment(static_cast<double>(candidates_feasible));
+  registry.GetHistogram("planner.solve_seconds")
+      ->Observe(timings.total_seconds);
+  registry.GetHistogram("planner.grouping_seconds")
+      ->Observe(timings.grouping_seconds);
+  registry.GetHistogram("planner.division_seconds")
+      ->Observe(timings.division_seconds);
+
+  if (!found) {
+    registry.GetCounter("planner.infeasible_solves")->Increment();
+    return last_error;
+  }
+  registry.GetGauge("planner.last_estimate_seconds")
+      ->Set(best.estimated_full_seconds);
   best.timings = timings;
   return best;
 }

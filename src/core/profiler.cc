@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace malleus {
 namespace core {
@@ -16,7 +17,14 @@ Profiler::Profiler(int num_gpus, ProfilerOptions options)
 
 void Profiler::Update(topo::GpuId gpu, double normalized) {
   if (estimate_.IsFailed(gpu)) return;  // Only probes can clear failure.
-  if (std::fabs(normalized - 1.0) < options_.healthy_band) normalized = 1.0;
+  if (std::fabs(normalized - 1.0) < options_.healthy_band) {
+    if (normalized != 1.0) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("profiler.snap_to_healthy")
+          ->Increment();
+    }
+    normalized = 1.0;
+  }
   double value = normalized;
   if (has_sample_[gpu]) {
     const double prev = estimate_.rate(gpu);
@@ -60,11 +68,17 @@ void Profiler::RecordStep(const std::vector<double>& measured_rates) {
 
 void Profiler::RecordProbe(topo::GpuId gpu, double measured_rate) {
   if (measured_rate <= 0) return;
+  obs::MetricsRegistry::Global().GetCounter("profiler.probes")->Increment();
   if (estimate_.IsFailed(gpu)) MarkRecovered(gpu);
   Update(gpu, measured_rate);
 }
 
 void Profiler::MarkFailed(topo::GpuId gpu) {
+  if (!estimate_.IsFailed(gpu)) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("profiler.failures_marked")
+        ->Increment();
+  }
   estimate_.Fail(gpu);
   has_sample_[gpu] = true;
 }

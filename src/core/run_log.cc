@@ -5,8 +5,49 @@
 namespace malleus {
 namespace core {
 
+const char* RunEventTypeName(RunEventType type) {
+  switch (type) {
+    case RunEventType::kReplan:
+      return "replan";
+    case RunEventType::kMigrate:
+      return "migrate";
+    case RunEventType::kFail:
+      return "fail";
+    case RunEventType::kRecover:
+      return "recover";
+    case RunEventType::kPlanAdopted:
+      return "plan_adopted";
+  }
+  return "?";
+}
+
 void RunLog::Record(const std::string& phase, const StepReport& report) {
+  const int64_t step = static_cast<int64_t>(entries_.size());
   entries_.push_back({phase, report});
+
+  // A recovery implies the step was interrupted by a failure first.
+  if (report.recovery_seconds > 0) {
+    events_.push_back(
+        {step, RunEventType::kFail, phase, 0.0, report.note, ""});
+    events_.push_back({step, RunEventType::kRecover, phase,
+                       report.recovery_seconds, report.note, ""});
+  }
+  if (report.replanned) {
+    events_.push_back({step, RunEventType::kReplan, phase,
+                       report.planning_seconds, report.note, ""});
+    if (!report.plan_signature.empty()) {
+      events_.push_back({step, RunEventType::kPlanAdopted, phase, 0.0,
+                         report.note, report.plan_signature});
+    }
+  }
+  if (report.migration_seconds > 0) {
+    events_.push_back({step, RunEventType::kMigrate, phase,
+                       report.migration_seconds, report.note, ""});
+  }
+}
+
+void RunLog::RecordEvent(RunEvent event) {
+  events_.push_back(std::move(event));
 }
 
 RunLog::Summary RunLog::Summarize() const {
@@ -38,13 +79,46 @@ double RunLog::PhaseMeanSeconds(const std::string& phase) const {
 std::string RunLog::ToCsv() const {
   std::string out =
       "step,phase,step_seconds,migration_seconds,recovery_seconds,"
-      "planning_seconds,replanned\n";
+      "planning_seconds,replanned,note\n";
   for (size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
-    out += StrFormat("%zu,%s,%.4f,%.4f,%.4f,%.4f,%d\n", i, e.phase.c_str(),
-                     e.report.step_seconds, e.report.migration_seconds,
-                     e.report.recovery_seconds, e.report.planning_seconds,
-                     e.report.replanned ? 1 : 0);
+    out += StrFormat("%zu,%s,%.4f,%.4f,%.4f,%.4f,%d,%s\n", i,
+                     CsvEscape(e.phase).c_str(), e.report.step_seconds,
+                     e.report.migration_seconds, e.report.recovery_seconds,
+                     e.report.planning_seconds, e.report.replanned ? 1 : 0,
+                     CsvEscape(e.report.note).c_str());
+  }
+  return out;
+}
+
+std::string RunLog::ToJsonl() const {
+  std::string out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out += StrFormat(
+        "{\"kind\":\"step\",\"step\":%zu,\"phase\":\"%s\","
+        "\"step_seconds\":%.6f,\"migration_seconds\":%.6f,"
+        "\"recovery_seconds\":%.6f,\"planning_seconds\":%.6f,"
+        "\"planning_overflow_seconds\":%.6f,\"replanned\":%s,"
+        "\"note\":\"%s\"}\n",
+        i, JsonEscape(e.phase).c_str(), e.report.step_seconds,
+        e.report.migration_seconds, e.report.recovery_seconds,
+        e.report.planning_seconds, e.report.planning_overflow_seconds,
+        e.report.replanned ? "true" : "false",
+        JsonEscape(e.report.note).c_str());
+  }
+  for (const RunEvent& ev : events_) {
+    out += StrFormat(
+        "{\"kind\":\"event\",\"step\":%lld,\"type\":\"%s\","
+        "\"phase\":\"%s\",\"seconds\":%.6f,\"detail\":\"%s\"",
+        static_cast<long long>(ev.step), RunEventTypeName(ev.type),
+        JsonEscape(ev.phase).c_str(), ev.seconds,
+        JsonEscape(ev.detail).c_str());
+    if (!ev.plan_signature.empty()) {
+      out += StrFormat(",\"plan_signature\":\"%s\"",
+                       JsonEscape(ev.plan_signature).c_str());
+    }
+    out += "}\n";
   }
   return out;
 }

@@ -1,0 +1,156 @@
+// Process-global metrics: counters, gauges and log-scale histograms with a
+// registry that renders text and JSON snapshots. This is the aggregate half
+// of the observability layer (the event half is trace.h); the planner,
+// profiler, engine and solvers record into the global registry so examples
+// and benches can dump where the time and the re-planning activity went.
+//
+// All operations are thread-safe: each metric guards its state with its own
+// mutex, and the registry guards the name->metric maps. Metric objects are
+// owned by the registry and live until process exit, so cached pointers from
+// GetCounter()/GetGauge()/GetHistogram() stay valid forever.
+
+#ifndef MALLEUS_OBS_METRICS_H_
+#define MALLEUS_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace malleus {
+namespace obs {
+
+/// Monotonically increasing value (double so second-valued accumulators
+/// like "overlap seconds saved" fit alongside plain event counts).
+class Counter {
+ public:
+  void Increment(double delta = 1.0);
+  double Value() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+/// Options of the fixed log-scale bucket layout.
+struct HistogramOptions {
+  /// Upper bound of the first bucket; observations at or below it land
+  /// there. The default suits second-valued timings down to a microsecond.
+  double min_bound = 1e-6;
+  /// Ratio between consecutive bucket bounds.
+  double growth = 1.25;
+  /// Number of finite buckets; one overflow bucket is added on top. The
+  /// default covers [1e-6, 1e-6 * 1.25^128) ~ [1us, 2.7e6 s).
+  int num_buckets = 128;
+};
+
+/// Point-in-time view of a histogram (what exporters consume).
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// \brief Fixed log-scale bucket histogram with quantile estimation.
+///
+/// Quantiles are estimated as the geometric midpoint of the bucket the
+/// requested rank falls into, so their relative error is bounded by
+/// sqrt(growth) (~12% at the default 1.25 growth).
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = HistogramOptions());
+
+  void Observe(double value);
+  /// Estimated value at quantile `q` in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+  int64_t Count() const;
+  double Sum() const;
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  // Index of the bucket `value` falls into (callers hold mu_).
+  int BucketIndex(double value) const;
+  // Geometric midpoint of bucket `index` (callers hold mu_).
+  double BucketMid(int index) const;
+
+  const HistogramOptions options_;
+  const double log_growth_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;  // num_buckets + 1 (overflow).
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Name -> metric registry with deterministic (sorted) exports.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry everything in-tree records into.
+  static MetricsRegistry& Global();
+
+  /// Returns the named metric, creating it on first use. Requesting the
+  /// same name as two different kinds is a programming error (checked).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          HistogramOptions options = HistogramOptions());
+
+  /// Human-readable dump, one metric per line, sorted by name.
+  std::string ToText() const;
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,p50,p95,p99}}} with keys sorted by name.
+  std::string ToJson() const;
+
+  /// Zeroes every registered metric (the metrics stay registered).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Observes the wall-clock lifetime of a scope into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed since construction.
+  double ElapsedSeconds() const;
+
+ private:
+  Histogram* histogram_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace malleus
+
+#endif  // MALLEUS_OBS_METRICS_H_

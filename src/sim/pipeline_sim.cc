@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "sim/collective.h"
 
 namespace malleus {
@@ -26,13 +27,40 @@ std::vector<StageTask> Build1F1BSchedule(int stage, int num_stages,
 
 namespace {
 
+// Optional span recording for one pipeline's schedule playback.
+struct PipelineTrace {
+  obs::TraceRecorder* rec = nullptr;
+  double offset = 0.0;  // Simulated start time of this step.
+  int pipeline_index = 0;
+  const plan::Pipeline* pipe = nullptr;  // Stage metadata for span args.
+};
+
 // Simulates one pipeline; returns its compute finish time.
 double SimulatePipeline(const std::vector<double>& fwd_seconds,
                         const std::vector<double>& bwd_seconds,
-                        const std::vector<double>& xfer_seconds, int64_t m) {
+                        const std::vector<double>& xfer_seconds, int64_t m,
+                        const PipelineTrace& trace) {
   const int pp = static_cast<int>(fwd_seconds.size());
   std::vector<std::vector<StageTask>> seq(pp);
   for (int j = 0; j < pp; ++j) seq[j] = Build1F1BSchedule(j, pp, m);
+
+  // Trace tracks: one compute lane per stage, plus a P2P lane for stages
+  // that receive activation/gradient transfers (spans there may overlap
+  // the receiver's compute, so they get their own lane).
+  std::vector<obs::TrackId> stage_track(pp), p2p_track(pp);
+  std::vector<std::string> stage_gpus(pp);
+  if (trace.rec != nullptr) {
+    const std::string proc = StrFormat("pipeline %d", trace.pipeline_index);
+    for (int j = 0; j < pp; ++j) {
+      stage_track[j] = trace.rec->Track(proc, StrFormat("stage %d", j));
+      stage_gpus[j] = trace.pipe->stages[j].group.ToString();
+    }
+    for (int j = 0; j < pp; ++j) {
+      if (xfer_seconds[j] > 0 || (j + 1 < pp && xfer_seconds[j + 1] > 0)) {
+        p2p_track[j] = trace.rec->Track(proc, StrFormat("stage %d p2p", j));
+      }
+    }
+  }
 
   std::vector<std::vector<double>> fwd_done(pp), bwd_done(pp);
   for (int j = 0; j < pp; ++j) {
@@ -70,6 +98,33 @@ double SimulatePipeline(const std::vector<double>& fwd_seconds,
             start + (t.is_fwd ? fwd_seconds[j] : bwd_seconds[j]);
         busy_until[j] = end;
         (t.is_fwd ? fwd_done : bwd_done)[j][t.micro] = end;
+        if (trace.rec != nullptr) {
+          // Incoming transfer on the receiver's P2P lane.
+          if (t.is_fwd && j > 0 && xfer_seconds[j] > 0) {
+            trace.rec->AddSpan(
+                StrFormat("p2p fwd mb%lld",
+                          static_cast<long long>(t.micro)),
+                "comm", p2p_track[j],
+                trace.offset + fwd_done[j - 1][t.micro], xfer_seconds[j],
+                {obs::TraceArg::Int("micro", t.micro)});
+          } else if (!t.is_fwd && j < pp - 1 && xfer_seconds[j + 1] > 0) {
+            trace.rec->AddSpan(
+                StrFormat("p2p bwd mb%lld",
+                          static_cast<long long>(t.micro)),
+                "comm", p2p_track[j],
+                trace.offset + bwd_done[j + 1][t.micro],
+                xfer_seconds[j + 1],
+                {obs::TraceArg::Int("micro", t.micro)});
+          }
+          trace.rec->AddSpan(
+              StrFormat("%s mb%lld", t.is_fwd ? "fwd" : "bwd",
+                        static_cast<long long>(t.micro)),
+              "compute", stage_track[j], trace.offset + start, end - start,
+              {obs::TraceArg::Int("micro", t.micro),
+               obs::TraceArg::Int("layers",
+                                  trace.pipe->stages[j].num_layers),
+               obs::TraceArg::Str("gpus", stage_gpus[j])});
+        }
         ++pos[j];
         ++total_done;
         progressed = true;
@@ -118,7 +173,8 @@ Result<StepResult> SimulateStep(const topo::ClusterSpec& cluster,
   const double p2p_bytes = cost.P2pActivationBytes(b);
 
   // --- Pipeline compute phase ---
-  for (const plan::Pipeline& pipe : p.pipelines) {
+  for (size_t pi = 0; pi < p.pipelines.size(); ++pi) {
+    const plan::Pipeline& pipe = p.pipelines[pi];
     const int pp = pipe.num_stages();
     std::vector<double> fwd(pp), bwd(pp), xfer(pp, 0.0);
     for (int j = 0; j < pp; ++j) {
@@ -141,8 +197,13 @@ Result<StepResult> SimulateStep(const topo::ClusterSpec& cluster,
                              s.group.gpus.front(), p2p_bytes);
       }
     }
+    PipelineTrace trace;
+    trace.rec = options.trace;
+    trace.offset = options.trace_time_offset_seconds;
+    trace.pipeline_index = static_cast<int>(pi);
+    trace.pipe = &pipe;
     result.pipeline_seconds.push_back(
-        SimulatePipeline(fwd, bwd, xfer, pipe.num_microbatches));
+        SimulatePipeline(fwd, bwd, xfer, pipe.num_microbatches, trace));
   }
 
   double compute_end = 0.0;
@@ -200,6 +261,20 @@ Result<StepResult> SimulateStep(const topo::ClusterSpec& cluster,
                          2.0 * dp * hop_latency;
         sync = std::max(sync, t);
       }
+    }
+  }
+
+  if (options.trace != nullptr && options.include_grad_sync && dp > 1) {
+    // The ZeRO-1 sync is globally synchronous: every pipeline stalls from
+    // the end of the slowest pipeline's compute until sync completion.
+    for (int i = 0; i < dp; ++i) {
+      const obs::TrackId track = options.trace->Track(
+          StrFormat("pipeline %d", i), "grad-sync");
+      options.trace->AddSpan(
+          "grad-sync", "sync", track,
+          options.trace_time_offset_seconds + compute_end, sync,
+          {obs::TraceArg::Int("dp_degree", dp),
+           obs::TraceArg::Num("seconds", sync)});
     }
   }
 

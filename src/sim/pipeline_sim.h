@@ -21,6 +21,11 @@
 #include "topology/cluster.h"
 
 namespace malleus {
+
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 namespace sim {
 
 /// Knobs of the step simulator.
@@ -32,6 +37,12 @@ struct SimOptions {
   bool include_p2p = true;
   /// Model DP gradient synchronization (reduce-scatter + all-gather).
   bool include_grad_sync = true;
+  /// When set, SimulateStep records one span per 1F1B stage task
+  /// (category "compute"), per P2P activation transfer ("comm") and per
+  /// grad-sync phase ("sync"). Timestamps are simulated seconds offset by
+  /// `trace_time_offset_seconds`, so a multi-step run forms one timeline.
+  obs::TraceRecorder* trace = nullptr;
+  double trace_time_offset_seconds = 0.0;
 };
 
 /// Outcome of simulating one training step.

@@ -4,6 +4,8 @@
 #include <limits>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace malleus {
 namespace solver {
 
@@ -112,6 +114,10 @@ class BranchAndBound {
     return Explore(up);
   }
 
+ public:
+  int nodes() const { return nodes_; }
+
+ private:
   const IntegerProgram& ip_;
   const IlpOptions& opts_;
   double best_obj_ = kInf;
@@ -131,7 +137,11 @@ IntegerProgram IntegerProgram::Create(int num_vars) {
 Result<IlpSolution> SolveIlp(const IntegerProgram& ip,
                              const IlpOptions& options) {
   BranchAndBound bnb(ip, options);
-  return bnb.Solve();
+  Result<IlpSolution> result = bnb.Solve();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("solver.ilp.solves")->Increment();
+  registry.GetCounter("solver.ilp.nodes_explored")->Increment(bnb.nodes());
+  return result;
 }
 
 }  // namespace solver

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace malleus {
 namespace solver {
@@ -185,6 +186,7 @@ class Simplex {
   }
 
   void Pivot(int row, int col) {
+    ++pivots_;
     const double p = tab_[row][col];
     for (int j = 0; j <= num_cols_; ++j) tab_[row][j] /= p;
     for (int i = 0; i < num_rows_; ++i) {
@@ -214,7 +216,12 @@ class Simplex {
     return sol;
   }
 
+ public:
+  int pivots() const { return pivots_; }
+
+ private:
   const LinearProgram& lp_;
+  int pivots_ = 0;
   std::vector<std::vector<double>> tab_;
   std::vector<int> basis_;
   std::vector<double> shift_;
@@ -250,7 +257,11 @@ void LinearProgram::AddEqual(std::vector<double> coeffs, double rhs) {
 
 Result<LpSolution> SolveLp(const LinearProgram& lp) {
   Simplex simplex(lp);
-  return simplex.Solve();
+  Result<LpSolution> result = simplex.Solve();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("solver.lp.solves")->Increment();
+  registry.GetCounter("solver.lp.pivots")->Increment(simplex.pivots());
+  return result;
 }
 
 }  // namespace solver

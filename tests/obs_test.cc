@@ -1,0 +1,424 @@
+// Tests for src/obs: Chrome trace-event export well-formedness, histogram
+// quantile accuracy, counter/gauge semantics, registry export formats, and
+// the SimulateStep span instrumentation (span count == 1F1B task count).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "plan/uniform.h"
+#include "sim/pipeline_sim.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace obs {
+namespace {
+
+// Minimal recursive-descent JSON well-formedness checker. Accepts exactly
+// the grammar of RFC 8259; returns false on any syntax error. Enough to
+// prove the exporters emit parseable JSON without an external library.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(Peek())) return false;
+    while (std::isdigit(Peek())) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(Peek())) return false;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(Peek())) return false;
+      while (std::isdigit(Peek())) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) {
+  return JsonValidator(text).Validate();
+}
+
+TEST(JsonValidatorTest, SelfCheck) {
+  EXPECT_TRUE(IsValidJson(R"({"a":[1,2.5,-3e4],"b":"x\né","c":null})"));
+  EXPECT_FALSE(IsValidJson(R"({"a":1,})"));
+  EXPECT_FALSE(IsValidJson("{\"a\":\"\n\"}"));  // bare newline in string
+  EXPECT_FALSE(IsValidJson("[1 2]"));
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.Value(), 0.0);
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.Value(), 3.5);
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.Value(), 0.0);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(4.0);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, ExactStatsAndReset) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Observe(v);
+  EXPECT_EQ(h.Count(), 4);
+  EXPECT_DOUBLE_EQ(h.Sum(), 10.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketError) {
+  // Log-scale buckets with growth g bound the relative quantile error by
+  // sqrt(g) (the bucket midpoint is at most half a bucket off).
+  HistogramOptions opts;
+  Histogram h(opts);
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  const double tol = std::sqrt(opts.growth) + 1e-9;
+  struct Case {
+    double q, expected;
+  };
+  for (const Case& c :
+       {Case{0.50, 500.0}, Case{0.95, 950.0}, Case{0.99, 990.0}}) {
+    const double got = h.Quantile(c.q);
+    EXPECT_GE(got, c.expected / tol) << "q=" << c.q;
+    EXPECT_LE(got, c.expected * tol) << "q=" << c.q;
+  }
+  // Quantiles never leave the observed range.
+  EXPECT_GE(h.Quantile(0.0), 1.0);
+  EXPECT_LE(h.Quantile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, SingleValueQuantilesClamp) {
+  Histogram h;
+  h.Observe(0.125);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.125);
+}
+
+TEST(MetricsRegistryTest, ExportsAndReset) {
+  MetricsRegistry reg;
+  reg.GetCounter("engine.replans")->Increment(3);
+  reg.GetGauge("planner.last_estimate_seconds")->Set(1.25);
+  Histogram* h = reg.GetHistogram("planner.solve_seconds");
+  h->Observe(0.01);
+  h->Observe(0.02);
+
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"engine.replans\""), std::string::npos);
+  EXPECT_NE(json.find("\"planner.solve_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+
+  const std::string text = reg.ToText();
+  EXPECT_NE(text.find("engine.replans"), std::string::npos);
+  EXPECT_NE(text.find("planner.solve_seconds"), std::string::npos);
+
+  reg.ResetAll();
+  EXPECT_DOUBLE_EQ(reg.GetCounter("engine.replans")->Value(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("planner.last_estimate_seconds")->Value(),
+                   0.0);
+  EXPECT_EQ(reg.GetHistogram("planner.solve_seconds")->Count(), 0);
+}
+
+TEST(MetricsRegistryTest, GlobalIsStable) {
+  MetricsRegistry& a = MetricsRegistry::Global();
+  MetricsRegistry& b = MetricsRegistry::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.GetCounter("obs_test.stable"),
+            b.GetCounter("obs_test.stable"));
+}
+
+TEST(ScopedTimerTest, RecordsOneObservation) {
+  Histogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_GE(h.Snapshot().min, 0.0);
+}
+
+TEST(TraceRecorderTest, ChromeJsonShape) {
+  TraceRecorder rec;
+  const TrackId gpu = rec.Track("pipeline 0", "stage 0");
+  rec.AddSpan("fwd mb0", "compute", gpu, 0.0, 0.5,
+              {TraceArg::Int("micro", 0), TraceArg::Str("gpus", "n0[0-3]")});
+  rec.AddInstant("replan", "engine", rec.Track("engine", "transitions"), 1.0,
+                 {TraceArg::Num("planning_seconds", 0.25)});
+  EXPECT_EQ(rec.num_events(), 2u);
+
+  const std::string json = rec.ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  // Track metadata for Perfetto naming.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Complete span + instant phases; instants carry thread scope.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  // Durations are microseconds: 0.5 s span -> 500000.
+  EXPECT_NE(json.find("\"dur\":500000.0000"), std::string::npos);
+
+  rec.Clear();
+  EXPECT_EQ(rec.num_events(), 0u);
+}
+
+TEST(TraceRecorderTest, EscapesNamesInJson) {
+  TraceRecorder rec;
+  rec.AddSpan("odd \"name\"\nwith\tcontrol", "c,at",
+              rec.Track("p\"d", "t\\d"), 0.0, 1.0, {});
+  const std::string json = rec.ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+}
+
+class SimTraceTest : public ::testing::Test {
+ protected:
+  plan::ParallelPlan MakePlan(int dp, int tp, int pp) {
+    plan::UniformConfig cfg;
+    cfg.dp = dp;
+    cfg.tp = tp;
+    cfg.pp = pp;
+    cfg.global_batch = 32;
+    std::vector<topo::GpuId> all = cluster_.AllGpus();
+    std::vector<topo::GpuId> gpus(all.begin(), all.begin() + dp * tp * pp);
+    Result<plan::ParallelPlan> p =
+        plan::BuildUniformPlan(cluster_, cost_, gpus, cfg);
+    MALLEUS_CHECK_OK(p.status());
+    return std::move(p).ValueOrDie();
+  }
+
+  std::string Simulate(const plan::ParallelPlan& p, TraceRecorder* rec,
+                       uint64_t seed) {
+    straggler::Situation healthy(cluster_.num_gpus());
+    Rng rng(seed);
+    sim::SimOptions opts;
+    opts.timing_noise_stddev = 0.0;
+    opts.trace = rec;
+    Result<sim::StepResult> r =
+        sim::SimulateStep(cluster_, cost_, p, healthy, opts, &rng);
+    MALLEUS_CHECK_OK(r.status());
+    return rec->ToChromeTraceJson();
+  }
+
+  topo::ClusterSpec cluster_ = topo::ClusterSpec::A800Cluster(2);
+  model::CostModel cost_{model::ModelSpec::Tiny(), topo::GpuSpec()};
+};
+
+TEST_F(SimTraceTest, OneSpanPer1F1BTaskPlusGradSync) {
+  const plan::ParallelPlan p = MakePlan(2, 2, 4);
+  TraceRecorder rec;
+  const std::string json = Simulate(p, &rec, 42);
+  EXPECT_TRUE(IsValidJson(json));
+
+  // Every stage of every pipeline runs its full 1F1B schedule, one span
+  // per StageTask.
+  size_t want_compute = 0;
+  for (const plan::Pipeline& pipe : p.pipelines) {
+    for (int s = 0; s < pipe.num_stages(); ++s) {
+      want_compute +=
+          sim::Build1F1BSchedule(s, pipe.num_stages(), pipe.num_microbatches)
+              .size();
+    }
+  }
+  EXPECT_GT(want_compute, 0u);
+  EXPECT_EQ(rec.CountCategory("compute"), want_compute);
+  // dp=2 -> one grad-sync span per pipeline.
+  EXPECT_EQ(rec.CountCategory("sync"), p.pipelines.size());
+  // pp=4 with P2P enabled -> at least one transfer span.
+  EXPECT_GT(rec.CountCategory("comm"), 0u);
+}
+
+TEST_F(SimTraceTest, NoGradSyncSpanWithoutDataParallelism) {
+  const plan::ParallelPlan p = MakePlan(1, 2, 4);
+  TraceRecorder rec;
+  Simulate(p, &rec, 42);
+  EXPECT_EQ(rec.CountCategory("sync"), 0u);
+  EXPECT_GT(rec.CountCategory("compute"), 0u);
+}
+
+TEST_F(SimTraceTest, DeterministicForFixedSeed) {
+  const plan::ParallelPlan p = MakePlan(2, 2, 2);
+  TraceRecorder a, b;
+  const std::string ja = Simulate(p, &a, 7);
+  const std::string jb = Simulate(p, &b, 7);
+  EXPECT_EQ(ja, jb);
+
+  TraceRecorder c;
+  straggler::Situation s(cluster_.num_gpus());
+  s.SetRate(0, 2.0);
+  Rng rng(7);
+  sim::SimOptions opts;
+  opts.trace = &c;
+  Result<sim::StepResult> r =
+      sim::SimulateStep(cluster_, cost_, p, s, opts, &rng);
+  MALLEUS_CHECK_OK(r.status());
+  EXPECT_NE(ja, c.ToChromeTraceJson());  // straggler shifts span times
+}
+
+TEST_F(SimTraceTest, TimeOffsetShiftsAllSpans) {
+  const plan::ParallelPlan p = MakePlan(1, 2, 2);
+  TraceRecorder rec;
+  straggler::Situation healthy(cluster_.num_gpus());
+  Rng rng(3);
+  sim::SimOptions opts;
+  opts.timing_noise_stddev = 0.0;
+  opts.trace = &rec;
+  opts.trace_time_offset_seconds = 100.0;
+  MALLEUS_CHECK_OK(
+      sim::SimulateStep(cluster_, cost_, p, healthy, opts, &rng).status());
+  for (const TraceEvent& e : rec.Events()) {
+    EXPECT_GE(e.start_us, 100.0 * 1e6);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace malleus

@@ -61,6 +61,75 @@ TEST(RunLogTest, CsvFormat) {
   EXPECT_NE(csv.find("0,S2,1.5000,0.2500,0.0000,0.0000,1"), std::string::npos);
 }
 
+TEST(RunLogTest, CsvEscapesPhaseAndNotePerRfc4180) {
+  RunLog log;
+  StepReport r = MakeReport(1.0);
+  r.note = "shift, then \"snap\"\nline2";
+  log.Record("S1,custom", r);
+  const std::string csv = log.ToCsv();
+  // Comma-bearing phase is quoted; note doubles embedded quotes and keeps
+  // the newline inside the quoted field.
+  EXPECT_NE(csv.find("\"S1,custom\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"shift, then \"\"snap\"\"\nline2\""),
+            std::string::npos)
+      << csv;
+  // The header gained the note column.
+  EXPECT_NE(csv.find("replanned,note"), std::string::npos);
+  // Plain fields stay unquoted.
+  log = RunLog();
+  log.Record("Normal", MakeReport(2.0));
+  EXPECT_EQ(log.ToCsv().find('"'), std::string::npos);
+}
+
+TEST(RunLogTest, DerivesTypedEvents) {
+  RunLog log;
+  log.Record("Normal", MakeReport(10.0));  // no events
+  StepReport replan = MakeReport(20.0, 2.0, 0.0, true);
+  replan.plan_signature = "dp2[tp4pp4]";
+  replan.note = "straggler shift";
+  log.Record("S1", replan);
+  StepReport fail = MakeReport(12.0, 0.0, 50.0, true);
+  log.Record("S3", fail);
+
+  const std::vector<RunEvent>& ev = log.events();
+  ASSERT_EQ(ev.size(), 6u);
+  // Step 1: replan + plan-adopted + migrate.
+  EXPECT_EQ(ev[0].type, RunEventType::kReplan);
+  EXPECT_EQ(ev[0].step, 1);
+  EXPECT_EQ(ev[0].phase, "S1");
+  EXPECT_EQ(ev[0].detail, "straggler shift");
+  EXPECT_EQ(ev[1].type, RunEventType::kPlanAdopted);
+  EXPECT_EQ(ev[1].plan_signature, "dp2[tp4pp4]");
+  EXPECT_EQ(ev[2].type, RunEventType::kMigrate);
+  EXPECT_DOUBLE_EQ(ev[2].seconds, 2.0);
+  // Step 2: fail + recover, then the post-recovery replan.
+  EXPECT_EQ(ev[3].type, RunEventType::kFail);
+  EXPECT_EQ(ev[4].type, RunEventType::kRecover);
+  EXPECT_DOUBLE_EQ(ev[4].seconds, 50.0);
+  EXPECT_EQ(ev[5].type, RunEventType::kReplan);
+}
+
+TEST(RunLogTest, JsonlHasStepAndEventLines) {
+  RunLog log;
+  log.Record("Normal", MakeReport(10.0));
+  StepReport replan = MakeReport(20.0, 2.0, 0.0, true);
+  replan.plan_signature = "sig-1";
+  log.Record("S1", replan);
+
+  const std::string jsonl = log.ToJsonl();
+  // One line per step plus one line per derived event, all joinable on
+  // "step".
+  size_t lines = 0;
+  for (char c : jsonl) lines += (c == '\n');
+  EXPECT_EQ(lines, 2u + log.events().size());
+  EXPECT_NE(jsonl.find("\"kind\":\"step\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"event\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"replan\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"plan_adopted\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"plan_signature\":\"sig-1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"replanned\":true"), std::string::npos);
+}
+
 TEST(RunLogTest, IntegratesWithEngine) {
   const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(2);
   const model::CostModel cost(model::ModelSpec::Llama32B(),

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the tree and runs the full test suite under ASan + UBSan, proving
+# the process-global metrics registry (and everything else) race/UB-clean.
+#
+#   tools/check.sh             # sanitized configure + build + ctest
+#   tools/check.sh --fast      # reuse an existing build-asan configure
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-asan
+
+if [[ "${1:-}" != "--fast" || ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMALLEUS_SANITIZE=address,undefined
+fi
+
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+echo "OK: build + tests clean under ASan/UBSan"
