@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "model/cost_model.h"
+#include "net/fabric.h"
 #include "obs/metrics.h"
 #include "topology/cluster.h"
 
@@ -100,8 +101,11 @@ inline double GeoMean(const std::vector<double>& values) {
 /// Attaches the global metrics snapshot to the bench's machine-readable
 /// output. Call at the end of main():
 ///   - MALLEUS_BENCH_METRICS_OUT=FILE writes
-///     {"bench":"<name>","metrics":{...}} JSON to FILE (planner solve-time
-///     histograms, solver node counts, engine replan/migration counters);
+///     {"bench":"<name>","net_model":"...","metrics":{...}} JSON to FILE
+///     (planner solve-time histograms, solver node counts, engine
+///     replan/migration counters; under the flow net model additionally
+///     "net.*" fabric metrics — per-link total bytes and peak utilization
+///     plus flow-completion-time histograms);
 ///   - MALLEUS_BENCH_METRICS=1 prints the text dump to stderr.
 inline void DumpBenchMetrics(const char* bench_name) {
   const auto& registry = obs::MetricsRegistry::Global();
@@ -111,10 +115,11 @@ inline void DumpBenchMetrics(const char* bench_name) {
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write bench metrics to %s\n", path);
     } else {
-      const std::string json =
-          StrFormat("{\"bench\":\"%s\",\"metrics\":%s}\n",
-                    JsonEscape(bench_name).c_str(),
-                    registry.ToJson().c_str());
+      const std::string json = StrFormat(
+          "{\"bench\":\"%s\",\"net_model\":\"%s\",\"metrics\":%s}\n",
+          JsonEscape(bench_name).c_str(),
+          net::NetModelName(net::DefaultNetModel()),
+          registry.ToJson().c_str());
       std::fwrite(json.data(), 1, json.size(), f);
       std::fclose(f);
     }

@@ -11,6 +11,9 @@
 //   --steps=K                   steps per trace phase   (default 6)
 //   --trace=p1,p2,...           phases: normal,s1..s6   (default full trace)
 //   --seed=S                    simulator seed          (default 42)
+//   --net-model=analytic|flow   comm pricing: isolated closed forms, or the
+//                               contention-aware flow-level fabric simulator
+//                               (default: build/env default, see net/fabric.h)
 //   --baselines                 also run Megatron/DeepSpeed for comparison
 //
 // Observability outputs (all produced from the Malleus run only):
@@ -36,6 +39,7 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/run_log.h"
+#include "net/fabric.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -50,6 +54,7 @@ struct Args {
   int steps = 6;
   std::vector<std::string> trace;
   uint64_t seed = 42;
+  net::NetModel net_model = net::DefaultNetModel();
   bool baselines = false;
   std::string trace_out;
   std::string metrics_out;
@@ -105,6 +110,13 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->events_out = v;
     } else if (const char* v = value("--csv-out=")) {
       out->csv_out = v;
+    } else if (const char* v = value("--net-model=")) {
+      Result<net::NetModel> model = net::ParseNetModel(v);
+      if (!model.ok()) {
+        std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+        return false;
+      }
+      out->net_model = *model;
     } else if (arg == "--baselines") {
       out->baselines = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -145,7 +157,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--model=32b|70b|110b|tiny] [--nodes=N] "
                  "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
-                 "[--seed=S] [--baselines] [--trace-out=FILE] "
+                 "[--seed=S] [--net-model=analytic|flow] [--baselines] "
+                 "[--trace-out=FILE] "
                  "[--metrics-out=FILE] [--events-out=FILE] "
                  "[--csv-out=FILE]\n",
                  argv[0]);
@@ -189,6 +202,7 @@ int main(int argc, char** argv) {
   core::RunLog run_log;
   core::EngineOptions eng;
   eng.seed = args.seed;
+  eng.sim.net_model = args.net_model;
   // Replace the planner's measured wall time by a representative constant
   // so every exported artifact is byte-reproducible for a fixed --seed.
   eng.planning_seconds_override = 0.02;

@@ -75,8 +75,8 @@ Result<TransitionReport> OobleckBaseline::OnSituationChange(
     Result<core::MigrationPlan> migration =
         core::ComputeMigration(plan_, *next, cost_);
     if (migration.ok()) {
-      report.migration_seconds =
-          core::MigrationSeconds(*migration, cluster_);
+      report.migration_seconds = core::MigrationSeconds(
+          *migration, cluster_, options_.sim_options.net_model);
       report.description =
           StrFormat("migrated to the %d-node template",
                     cluster_.num_nodes() - static_cast<int>(bad.size()));

@@ -28,7 +28,7 @@ MalleusEngine::MalleusEngine(const topo::ClusterSpec& cluster,
       cost_(cost),
       options_(options),
       planner_(cluster, cost),
-      executor_(cluster, cost),
+      executor_(cluster, cost, options.sim.net_model),
       rng_(options.seed) {
   profiler_ = std::make_unique<Profiler>(cluster.num_gpus(),
                                          options_.profiler);

@@ -24,7 +24,7 @@ Result<MigrationReport> Executor::Migrate(plan::ParallelPlan p) {
   }
   Result<MigrationPlan> migration = ComputeMigration(plan_, p, cost_);
   MALLEUS_RETURN_NOT_OK(migration.status());
-  report.seconds = MigrationSeconds(*migration, cluster_);
+  report.seconds = MigrationSeconds(*migration, cluster_, net_model_);
   report.bytes = migration->total_bytes;
   report.num_transfers = static_cast<int>(migration->transfers.size());
   plan_ = std::move(p);

@@ -24,8 +24,11 @@ struct MigrationReport {
 
 class Executor {
  public:
-  Executor(const topo::ClusterSpec& cluster, const model::CostModel& cost)
-      : cluster_(cluster), cost_(cost) {}
+  /// `net_model` prices migration traffic: analytic endpoint serialization
+  /// or the contention-aware flow fabric (see net/fabric.h).
+  Executor(const topo::ClusterSpec& cluster, const model::CostModel& cost,
+           net::NetModel net_model = net::DefaultNetModel())
+      : cluster_(cluster), cost_(cost), net_model_(net_model) {}
 
   /// Installs the initial plan (cold start; no data movement is charged).
   Status Install(plan::ParallelPlan p);
@@ -39,10 +42,12 @@ class Executor {
 
   bool installed() const { return installed_; }
   const plan::ParallelPlan& current_plan() const { return plan_; }
+  net::NetModel net_model() const { return net_model_; }
 
  private:
   const topo::ClusterSpec& cluster_;
   const model::CostModel& cost_;
+  net::NetModel net_model_ = net::NetModel::kAnalytic;
   plan::ParallelPlan plan_;
   bool installed_ = false;
 };

@@ -86,5 +86,12 @@ double MigrationSeconds(const MigrationPlan& migration,
                                      migration.num_packs);
 }
 
+double MigrationSeconds(const MigrationPlan& migration,
+                        const topo::ClusterSpec& cluster,
+                        net::NetModel model) {
+  return sim::BatchedSendRecvSeconds(cluster, migration.transfers,
+                                     migration.num_packs, model);
+}
+
 }  // namespace core
 }  // namespace malleus

@@ -45,9 +45,15 @@ Result<MigrationPlan> ComputeMigration(const plan::ParallelPlan& from,
                                        const plan::ParallelPlan& to,
                                        const model::CostModel& cost);
 
-/// Wall time of executing the migration over the interconnect.
+/// Wall time of executing the migration over the interconnect. The
+/// two-argument form prices every transfer analytically (endpoint
+/// serialization); pass `net::NetModel::kFlow` to play the batched
+/// transfers through the contention-aware fabric simulator instead.
 double MigrationSeconds(const MigrationPlan& migration,
                         const topo::ClusterSpec& cluster);
+double MigrationSeconds(const MigrationPlan& migration,
+                        const topo::ClusterSpec& cluster,
+                        net::NetModel model);
 
 }  // namespace core
 }  // namespace malleus

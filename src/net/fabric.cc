@@ -1,0 +1,78 @@
+#include "net/fabric.h"
+
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace malleus {
+namespace net {
+
+const char* NetModelName(NetModel model) {
+  return model == NetModel::kAnalytic ? "analytic" : "flow";
+}
+
+Result<NetModel> ParseNetModel(const std::string& name) {
+  if (name == "analytic") return NetModel::kAnalytic;
+  if (name == "flow") return NetModel::kFlow;
+  return Status::InvalidArgument("unknown net model: " + name +
+                                 " (expected analytic or flow)");
+}
+
+NetModel DefaultNetModel() {
+  static const NetModel cached = [] {
+#if defined(MALLEUS_DEFAULT_NET_MODEL_FLOW) && MALLEUS_DEFAULT_NET_MODEL_FLOW
+    NetModel model = NetModel::kFlow;
+#else
+    NetModel model = NetModel::kAnalytic;
+#endif
+    if (const char* env = std::getenv("MALLEUS_NET_MODEL");
+        env != nullptr && *env != '\0') {
+      Result<NetModel> parsed = ParseNetModel(env);
+      if (parsed.ok()) {
+        model = *parsed;
+      } else {
+        MALLEUS_LOG(Warning) << "ignoring MALLEUS_NET_MODEL=" << env << ": "
+                             << parsed.status().ToString();
+      }
+    }
+    return model;
+  }();
+  return cached;
+}
+
+Fabric::Fabric(const topo::ClusterSpec& cluster) : cluster_(&cluster) {
+  const double nvlink_bps = cluster.link().intra_node_gbps * 1e9;
+  const double ib_bps = cluster.link().inter_node_gbps * 1e9;
+  links_.reserve(2 * cluster.num_gpus() + 2 * cluster.num_nodes());
+  for (topo::GpuId g = 0; g < cluster.num_gpus(); ++g) {
+    links_.push_back({StrFormat("gpu%d.out", g), nvlink_bps});
+    links_.push_back({StrFormat("gpu%d.in", g), nvlink_bps});
+  }
+  nic_base_ = static_cast<int>(links_.size());
+  for (topo::NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    links_.push_back({StrFormat("node%d.nic.out", n), ib_bps});
+    links_.push_back({StrFormat("node%d.nic.in", n), ib_bps});
+  }
+}
+
+std::vector<LinkId> Fabric::Route(topo::GpuId src, topo::GpuId dst) const {
+  MALLEUS_CHECK(cluster_->ValidGpu(src));
+  MALLEUS_CHECK(cluster_->ValidGpu(dst));
+  if (src == dst) return {};
+  if (cluster_->SameNode(src, dst)) return {GpuOut(src), GpuIn(dst)};
+  return {GpuOut(src), NicOut(cluster_->NodeOf(src)),
+          NicIn(cluster_->NodeOf(dst)), GpuIn(dst)};
+}
+
+double Fabric::PathBandwidth(topo::GpuId src, topo::GpuId dst) const {
+  double bw = std::numeric_limits<double>::infinity();
+  for (LinkId l : Route(src, dst)) {
+    bw = std::min(bw, links_[l].capacity_bps);
+  }
+  return bw;
+}
+
+}  // namespace net
+}  // namespace malleus

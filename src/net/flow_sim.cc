@@ -1,0 +1,252 @@
+#include "net/flow_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace malleus {
+namespace net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A flow counts as drained once its residue is below one millionth of a
+// byte (or a relative 1e-12 for huge transfers), absorbing the float error
+// accumulated by rate * dt updates.
+bool Drained(double remaining, double original) {
+  return remaining <= std::max(1e-6, 1e-12 * original);
+}
+
+}  // namespace
+
+FlowSim::FlowSim(const Fabric& fabric)
+    : fabric_(&fabric), link_usage_(fabric.num_links()) {}
+
+int64_t FlowSim::Submit(const Flow& flow) {
+  MALLEUS_CHECK(!ran_) << "Submit after Run";
+  MALLEUS_CHECK(fabric_->cluster().ValidGpu(flow.src));
+  MALLEUS_CHECK(fabric_->cluster().ValidGpu(flow.dst));
+  MALLEUS_CHECK_GE(flow.bytes, 0.0);
+  flows_.push_back(flow);
+  return static_cast<int64_t>(flows_.size()) - 1;
+}
+
+void FlowSim::Run() {
+  MALLEUS_CHECK(!ran_) << "Run called twice";
+  ran_ = true;
+  const int n = static_cast<int>(flows_.size());
+  outcomes_.resize(n);
+
+  // Per-flow playback state. `ready` is when bytes may start moving;
+  // degenerate flows (loopback or zero bytes) complete immediately.
+  std::vector<std::vector<LinkId>> routes(n);
+  std::vector<double> ready(n, 0.0), remaining(n, 0.0), rate(n, 0.0);
+  enum class Phase { kPending, kActive, kDone };
+  std::vector<Phase> phase(n, Phase::kPending);
+  int not_done = 0;
+  for (int i = 0; i < n; ++i) {
+    const Flow& f = flows_[i];
+    outcomes_[i].flow = f;
+    if (f.src == f.dst) {
+      outcomes_[i].end_seconds = f.start_seconds;
+      phase[i] = Phase::kDone;
+      continue;
+    }
+    const double latency =
+        f.latency_seconds >= 0.0
+            ? f.latency_seconds
+            : fabric_->cluster().LatencySec(f.src, f.dst);
+    ready[i] = f.start_seconds + latency;
+    if (f.bytes <= 0.0) {
+      outcomes_[i].end_seconds = ready[i];
+      phase[i] = Phase::kDone;
+      continue;
+    }
+    routes[i] = fabric_->Route(f.src, f.dst);
+    remaining[i] = f.bytes;
+    total_bytes_ += f.bytes;
+    for (LinkId l : routes[i]) link_usage_[l].bytes += f.bytes;
+    ++not_done;
+  }
+  for (int i = 0; i < n; ++i) {
+    makespan_seconds_ = std::max(makespan_seconds_, outcomes_[i].end_seconds);
+  }
+
+  // Water-filling max–min rate allocation over the active set. Rates are
+  // recomputed from scratch at every flow arrival/completion (progressive
+  // filling); iteration order is by link id then flow id, so the result is
+  // deterministic.
+  std::vector<double> cap(fabric_->num_links());
+  std::vector<int> cnt(fabric_->num_links());
+  std::vector<double> rate_sum(fabric_->num_links());
+  const auto recompute_rates = [&] {
+    for (int l = 0; l < fabric_->num_links(); ++l) {
+      cap[l] = fabric_->link(l).capacity_bps;
+      cnt[l] = 0;
+      rate_sum[l] = 0.0;
+    }
+    std::vector<int> unfrozen;
+    for (int i = 0; i < n; ++i) {
+      if (phase[i] != Phase::kActive) continue;
+      unfrozen.push_back(i);
+      for (LinkId l : routes[i]) ++cnt[l];
+    }
+    while (!unfrozen.empty()) {
+      double best_share = kInf;
+      LinkId best_link = -1;
+      for (int l = 0; l < fabric_->num_links(); ++l) {
+        if (cnt[l] == 0) continue;
+        // Exact arithmetic keeps cap >= 0; clamp to a sliver of the link's
+        // capacity so float cancellation can never hand out a zero rate.
+        const double floor = fabric_->link(l).capacity_bps * 1e-9;
+        const double share = std::max(cap[l], floor) / cnt[l];
+        if (share < best_share) {
+          best_share = share;
+          best_link = l;
+        }
+      }
+      MALLEUS_CHECK(best_link >= 0);
+      std::vector<int> keep;
+      keep.reserve(unfrozen.size());
+      for (int i : unfrozen) {
+        const bool crosses =
+            std::find(routes[i].begin(), routes[i].end(), best_link) !=
+            routes[i].end();
+        if (!crosses) {
+          keep.push_back(i);
+          continue;
+        }
+        rate[i] = best_share;
+        for (LinkId l : routes[i]) {
+          cap[l] -= best_share;
+          --cnt[l];
+          rate_sum[l] += best_share;
+        }
+      }
+      unfrozen.swap(keep);
+    }
+    for (int l = 0; l < fabric_->num_links(); ++l) {
+      if (rate_sum[l] <= 0.0) continue;
+      link_usage_[l].peak_utilization =
+          std::max(link_usage_[l].peak_utilization,
+                   rate_sum[l] / fabric_->link(l).capacity_bps);
+    }
+  };
+
+  double now = 0.0;
+  while (not_done > 0) {
+    bool have_active = false;
+    for (int i = 0; i < n; ++i) have_active |= phase[i] == Phase::kActive;
+    if (!have_active) {
+      // Idle fabric: jump to the earliest pending arrival.
+      double next_ready = kInf;
+      for (int i = 0; i < n; ++i) {
+        if (phase[i] == Phase::kPending) {
+          next_ready = std::min(next_ready, ready[i]);
+        }
+      }
+      MALLEUS_CHECK(next_ready < kInf) << "flow sim stalled";
+      now = next_ready;
+    }
+
+    // Activate arrivals due now, then (re)fill rates.
+    for (int i = 0; i < n; ++i) {
+      if (phase[i] == Phase::kPending && ready[i] <= now) {
+        phase[i] = Phase::kActive;
+      }
+    }
+    recompute_rates();
+
+    // Time of the next event: first pending arrival or first drain.
+    double next_ready = kInf;
+    for (int i = 0; i < n; ++i) {
+      if (phase[i] == Phase::kPending) {
+        next_ready = std::min(next_ready, ready[i]);
+      }
+    }
+    std::vector<double> finish(n, kInf);
+    double next_drain = kInf;
+    for (int i = 0; i < n; ++i) {
+      if (phase[i] == Phase::kActive) {
+        MALLEUS_CHECK(rate[i] > 0.0);
+        finish[i] = now + remaining[i] / rate[i];
+        next_drain = std::min(next_drain, finish[i]);
+      }
+    }
+    const double t_next = std::min(next_ready, next_drain);
+    MALLEUS_CHECK(t_next < kInf) << "flow sim stalled";
+
+    // Advance active flows to t_next and retire the drained ones. A flow
+    // whose residue drains within a relative whisker of t_next completes
+    // *at* t_next: this is what guarantees forward progress even when a
+    // tiny residue's drain interval underflows against `now`.
+    const double horizon = t_next + 1e-9 * std::max(1.0, std::abs(t_next));
+    for (int i = 0; i < n; ++i) {
+      if (phase[i] != Phase::kActive) continue;
+      if (finish[i] <= horizon || Drained(remaining[i] - rate[i] * (t_next - now),
+                                          flows_[i].bytes)) {
+        phase[i] = Phase::kDone;
+        outcomes_[i].end_seconds = t_next;
+        makespan_seconds_ = std::max(makespan_seconds_, t_next);
+        --not_done;
+      } else {
+        remaining[i] -= rate[i] * (t_next - now);
+      }
+    }
+    now = t_next;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    outcomes_[i].seconds =
+        outcomes_[i].end_seconds - outcomes_[i].flow.start_seconds;
+  }
+}
+
+std::vector<int64_t> SubmitRing(FlowSim* sim,
+                                const std::vector<topo::GpuId>& gpus,
+                                double bytes_per_hop, double start_seconds,
+                                double latency_seconds) {
+  std::vector<int64_t> ids;
+  if (gpus.size() < 2) return ids;
+  ids.reserve(gpus.size());
+  for (size_t i = 0; i < gpus.size(); ++i) {
+    Flow f;
+    f.src = gpus[i];
+    f.dst = gpus[(i + 1) % gpus.size()];
+    f.bytes = bytes_per_hop;
+    f.start_seconds = start_seconds;
+    f.latency_seconds = latency_seconds;
+    ids.push_back(sim->Submit(f));
+  }
+  return ids;
+}
+
+void RecordFlowSimMetrics(const FlowSim& sim, const char* prefix) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string p(prefix);
+  registry.GetCounter(p + ".flows")
+      ->Increment(static_cast<double>(sim.outcomes().size()));
+  registry.GetCounter(p + ".bytes_total")->Increment(sim.TotalBytes());
+  obs::Histogram* fct = registry.GetHistogram(p + ".flow_seconds");
+  for (const FlowOutcome& o : sim.outcomes()) fct->Observe(o.seconds);
+  double peak = 0.0;
+  for (int l = 0; l < sim.fabric().num_links(); ++l) {
+    const LinkUsage& usage = sim.link_usage()[l];
+    if (usage.bytes <= 0.0) continue;
+    peak = std::max(peak, usage.peak_utilization);
+    const std::string& name = sim.fabric().link(l).name;
+    registry.GetCounter(p + ".link." + name + ".bytes")
+        ->Increment(usage.bytes);
+    obs::Gauge* g = registry.GetGauge(p + ".link." + name +
+                                      ".peak_utilization");
+    g->Set(std::max(g->Value(), usage.peak_utilization));
+  }
+  obs::Gauge* g = registry.GetGauge(p + ".peak_link_utilization");
+  g->Set(std::max(g->Value(), peak));
+}
+
+}  // namespace net
+}  // namespace malleus

@@ -2,8 +2,34 @@
 
 #include <algorithm>
 
+#include "net/flow_sim.h"
+
 namespace malleus {
 namespace plan {
+
+namespace {
+
+// True iff two stages' layer ranges [a0, a1) and [b0, b1) intersect.
+bool Overlaps(int a0, int a1, int b0, int b1) { return a0 < b1 && b0 < a1; }
+
+// Bottleneck bandwidth of a ring over `gpus`: the NIC when any hop leaves
+// a node, the NVLink port otherwise. (Mirrors the simulator's
+// GroupBottleneckBandwidth; kept local because plan/ sits below sim/.)
+double RingBottleneckBandwidth(const topo::ClusterSpec& cluster,
+                               const std::vector<topo::GpuId>& gpus) {
+  bool cross_node = false;
+  for (topo::GpuId g : gpus) {
+    if (!cluster.SameNode(g, gpus[0])) {
+      cross_node = true;
+      break;
+    }
+  }
+  const double gbps = cross_node ? cluster.link().inter_node_gbps
+                                 : cluster.link().intra_node_gbps;
+  return gbps * 1e9;
+}
+
+}  // namespace
 
 double StageTimePerMicrobatch(const Stage& stage, int micro_batch_size,
                               const model::CostModel& cost,
@@ -37,6 +63,90 @@ StepEstimate EstimateStep(const ParallelPlan& p, const model::CostModel& cost,
     est.simplified_seconds = std::max(est.simplified_seconds, simplified);
   }
   return est;
+}
+
+std::vector<GradSyncRing> CollectGradSyncRings(
+    const ParallelPlan& p, const model::CostModel& cost,
+    const topo::ClusterSpec& cluster) {
+  const int dp = p.dp_degree();
+  // Precompute each stage's layer offset within its pipeline.
+  std::vector<std::vector<int>> offsets(dp);
+  for (int i = 0; i < dp; ++i) {
+    int off = 0;
+    for (const Stage& s : p.pipelines[i].stages) {
+      offsets[i].push_back(off);
+      off += s.num_layers;
+    }
+  }
+  std::vector<GradSyncRing> rings;
+  if (dp <= 1) return rings;
+  for (int i = 0; i < dp; ++i) {
+    const Pipeline& pipe = p.pipelines[i];
+    for (int j = 0; j < pipe.num_stages(); ++j) {
+      const Stage& s = pipe.stages[j];
+      if (s.num_layers == 0) continue;
+      const int lo = offsets[i][j];
+      const int hi = lo + s.num_layers;
+      GradSyncRing ring;
+      ring.pipeline = i;
+      ring.stage = j;
+      // DP peers: the representative GPU of every overlapping stage in
+      // the other pipelines (the slice owners the ring passes through).
+      ring.peers = {s.group.gpus.front()};
+      for (int i2 = 0; i2 < dp; ++i2) {
+        if (i2 == i) continue;
+        const Pipeline& other = p.pipelines[i2];
+        for (int j2 = 0; j2 < other.num_stages(); ++j2) {
+          const Stage& s2 = other.stages[j2];
+          if (Overlaps(lo, hi, offsets[i2][j2],
+                       offsets[i2][j2] + s2.num_layers)) {
+            ring.peers.push_back(s2.group.gpus.front());
+          }
+        }
+      }
+      for (size_t q = 1; q < ring.peers.size(); ++q) {
+        ring.hop_latency = std::max(
+            ring.hop_latency,
+            cluster.LatencySec(ring.peers[0], ring.peers[q]));
+      }
+      // Per-GPU traffic: bf16 gradients out + bf16 parameters back.
+      ring.bytes_per_gpu = 2.0 * s.num_layers *
+                           cost.GradSyncBytesPerLayer() / s.group.size();
+      rings.push_back(std::move(ring));
+    }
+  }
+  return rings;
+}
+
+double EstimateGradSyncSeconds(const ParallelPlan& p,
+                               const model::CostModel& cost,
+                               const topo::ClusterSpec& cluster,
+                               net::NetModel model) {
+  const std::vector<GradSyncRing> rings =
+      CollectGradSyncRings(p, cost, cluster);
+  if (rings.empty()) return 0.0;
+  const double dp = static_cast<double>(p.dp_degree());
+  if (model == net::NetModel::kAnalytic) {
+    double sync = 0.0;
+    for (const GradSyncRing& ring : rings) {
+      const double bw = RingBottleneckBandwidth(cluster, ring.peers);
+      const double t = ring.bytes_per_gpu * ((dp - 1.0) / dp) / bw +
+                       2.0 * dp * ring.hop_latency;
+      sync = std::max(sync, t);
+    }
+    return sync;
+  }
+  // Flow model: all rings start together in one fabric session, so rings
+  // from different stages contend for shared NVLink ports and node NICs.
+  const net::Fabric fabric(cluster);
+  net::FlowSim fs(fabric);
+  for (const GradSyncRing& ring : rings) {
+    net::SubmitRing(&fs, ring.peers,
+                    ring.bytes_per_gpu * ((dp - 1.0) / dp),
+                    /*start_seconds=*/0.0, 2.0 * dp * ring.hop_latency);
+  }
+  fs.Run();
+  return fs.MakespanSeconds();
 }
 
 }  // namespace plan

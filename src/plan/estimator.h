@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "model/cost_model.h"
+#include "net/fabric.h"
 #include "plan/plan.h"
 #include "straggler/situation.h"
+#include "topology/cluster.h"
 
 namespace malleus {
 namespace plan {
@@ -33,6 +35,38 @@ StepEstimate EstimateStep(const ParallelPlan& p, const model::CostModel& cost,
 double StageTimePerMicrobatch(const Stage& stage, int micro_batch_size,
                               const model::CostModel& cost,
                               const straggler::Situation& situation);
+
+/// One stage's ZeRO-1 gradient-sync ring: the representative GPU of every
+/// stage whose layer range overlaps this one's, across all pipelines.
+/// This is plan structure, not simulation: the peers and byte volumes are
+/// fully determined by the plan, the cost model, and the cluster. The step
+/// simulator plays these rings through its fabric; the estimator prices
+/// them in closed form.
+struct GradSyncRing {
+  std::vector<topo::GpuId> peers;
+  double bytes_per_gpu = 0.0;  // bf16 gradients out + parameters back.
+  double hop_latency = 0.0;    // Worst peer latency from the owner.
+  int pipeline = 0;
+  int stage = 0;
+};
+
+/// The grad-sync rings of `p` (one per non-empty stage; empty when DP = 1).
+std::vector<GradSyncRing> CollectGradSyncRings(
+    const ParallelPlan& p, const model::CostModel& cost,
+    const topo::ClusterSpec& cluster);
+
+/// Estimated duration of the ZeRO-1 gradient-sync phase of one step (the
+/// max over rings; rings run concurrently). With `kAnalytic` each ring is
+/// priced in isolation at its group's bottleneck bandwidth — this is what
+/// the planner's inner loop assumes and stays cheap enough for solver use.
+/// With `kFlow` all rings are submitted to one contention-aware
+/// net::FlowSim, so rings crossing the same node NIC split its bandwidth;
+/// use this to audit how optimistic the analytic assumption is for a
+/// candidate plan before adopting it.
+double EstimateGradSyncSeconds(const ParallelPlan& p,
+                               const model::CostModel& cost,
+                               const topo::ClusterSpec& cluster,
+                               net::NetModel model);
 
 }  // namespace plan
 }  // namespace malleus

@@ -16,6 +16,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "model/cost_model.h"
+#include "net/fabric.h"
 #include "plan/plan.h"
 #include "straggler/situation.h"
 #include "topology/cluster.h"
@@ -37,6 +38,15 @@ struct SimOptions {
   bool include_p2p = true;
   /// Model DP gradient synchronization (reduce-scatter + all-gather).
   bool include_grad_sync = true;
+  /// How communication is priced. kAnalytic prices every transfer in
+  /// isolation (fast closed forms). kFlow submits the step's P2P
+  /// activation transfers and DP grad-sync rings through one shared
+  /// contention-aware net::FlowSim, so transfers that overlap in time on a
+  /// shared NVLink port or node NIC split its bandwidth max–min fairly;
+  /// per-link utilization and flow-completion times are recorded into the
+  /// global metrics registry under "net.*". Without link sharing the two
+  /// models produce identical timings.
+  net::NetModel net_model = net::DefaultNetModel();
   /// When set, SimulateStep records one span per 1F1B stage task
   /// (category "compute"), per P2P activation transfer ("comm") and per
   /// grad-sync phase ("sync"). Timestamps are simulated seconds offset by

@@ -1,0 +1,267 @@
+// Tests for src/net: fabric link graph construction, flow-level simulation
+// under max–min fair share, agreement with the analytic collective model
+// when uncontended, contention behavior on shared links, and deterministic
+// metrics output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "net/fabric.h"
+#include "net/flow_sim.h"
+#include "obs/metrics.h"
+#include "plan/uniform.h"
+#include "sim/collective.h"
+#include "sim/pipeline_sim.h"
+
+namespace malleus {
+namespace net {
+namespace {
+
+// Relative difference helper for the "within 1%" acceptance bounds.
+double RelDiff(double a, double b) {
+  return std::abs(a - b) / std::max(std::abs(a), std::abs(b));
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  topo::ClusterSpec cluster_ = topo::ClusterSpec::A800Cluster(2);
+  Fabric fabric_{cluster_};
+};
+
+TEST_F(FabricTest, LinkLayout) {
+  const int gpus = cluster_.num_gpus();
+  const int nodes = cluster_.num_nodes();
+  EXPECT_EQ(fabric_.num_links(), 2 * gpus + 2 * nodes);
+  // NVLink ports carry the intra-node bandwidth, NICs the inter-node one.
+  EXPECT_DOUBLE_EQ(fabric_.link(fabric_.GpuOut(0)).capacity_bps, 400e9);
+  EXPECT_DOUBLE_EQ(fabric_.link(fabric_.GpuIn(5)).capacity_bps, 400e9);
+  EXPECT_DOUBLE_EQ(fabric_.link(fabric_.NicOut(0)).capacity_bps, 200e9);
+  EXPECT_DOUBLE_EQ(fabric_.link(fabric_.NicIn(1)).capacity_bps, 200e9);
+  EXPECT_EQ(fabric_.link(fabric_.GpuOut(3)).name, "gpu3.out");
+  EXPECT_EQ(fabric_.link(fabric_.NicIn(1)).name, "node1.nic.in");
+}
+
+TEST_F(FabricTest, Routes) {
+  // Loopback crosses nothing.
+  EXPECT_TRUE(fabric_.Route(2, 2).empty());
+  // Intra-node: sender egress, receiver ingress.
+  const std::vector<LinkId> intra = fabric_.Route(0, 1);
+  ASSERT_EQ(intra.size(), 2u);
+  EXPECT_EQ(intra[0], fabric_.GpuOut(0));
+  EXPECT_EQ(intra[1], fabric_.GpuIn(1));
+  // Cross-node additionally crosses both nodes' NICs.
+  const std::vector<LinkId> cross = fabric_.Route(0, 8);
+  ASSERT_EQ(cross.size(), 4u);
+  EXPECT_EQ(cross[0], fabric_.GpuOut(0));
+  EXPECT_EQ(cross[1], fabric_.NicOut(0));
+  EXPECT_EQ(cross[2], fabric_.NicIn(1));
+  EXPECT_EQ(cross[3], fabric_.GpuIn(8));
+}
+
+TEST_F(FabricTest, PathBandwidthMatchesCluster) {
+  EXPECT_DOUBLE_EQ(fabric_.PathBandwidth(0, 1),
+                   cluster_.BandwidthBytesPerSec(0, 1));
+  EXPECT_DOUBLE_EQ(fabric_.PathBandwidth(0, 8),
+                   cluster_.BandwidthBytesPerSec(0, 8));
+}
+
+TEST(NetModelTest, ParseAndName) {
+  Result<NetModel> analytic = ParseNetModel("analytic");
+  ASSERT_TRUE(analytic.ok());
+  EXPECT_EQ(*analytic, NetModel::kAnalytic);
+  Result<NetModel> flow = ParseNetModel("flow");
+  ASSERT_TRUE(flow.ok());
+  EXPECT_EQ(*flow, NetModel::kFlow);
+  EXPECT_FALSE(ParseNetModel("fancy").ok());
+  EXPECT_STREQ(NetModelName(NetModel::kAnalytic), "analytic");
+  EXPECT_STREQ(NetModelName(NetModel::kFlow), "flow");
+}
+
+class FlowSimTest : public ::testing::Test {
+ protected:
+  topo::ClusterSpec cluster_ = topo::ClusterSpec::A800Cluster(2);
+  Fabric fabric_{cluster_};
+};
+
+TEST_F(FlowSimTest, SingleFlowMatchesAnalytic) {
+  // Acceptance: an isolated flow reproduces the analytic transfer time to
+  // within 1% (it is exact by construction).
+  for (const topo::GpuId dst : {topo::GpuId{1}, topo::GpuId{8}}) {
+    const double analytic = sim::P2pSeconds(cluster_, 0, dst, 1e9);
+    FlowSim fs(fabric_);
+    const int64_t id = fs.Submit({0, dst, 1e9});
+    fs.Run();
+    EXPECT_LT(RelDiff(fs.outcome(id).seconds, analytic), 0.01)
+        << "dst=" << dst;
+    EXPECT_LT(RelDiff(sim::P2pSecondsFlow(fabric_, 0, dst, 1e9), analytic),
+              0.01);
+  }
+}
+
+TEST_F(FlowSimTest, DegenerateFlows) {
+  FlowSim fs(fabric_);
+  const int64_t loopback = fs.Submit({3, 3, 1e9, /*start_seconds=*/2.0});
+  const int64_t empty = fs.Submit({0, 1, 0.0, /*start_seconds=*/1.0});
+  fs.Run();
+  EXPECT_DOUBLE_EQ(fs.outcome(loopback).seconds, 0.0);
+  // A zero-byte flow still pays the path latency (up to rounding against
+  // its absolute start time).
+  EXPECT_NEAR(fs.outcome(empty).seconds, cluster_.LatencySec(0, 1), 1e-12);
+}
+
+TEST_F(FlowSimTest, RingCollectiveMatchesAnalytic) {
+  // Uncontended ring collectives agree with the closed forms: each ring
+  // hop has dedicated ports, so no flow is slowed down.
+  const std::vector<topo::GpuId> intra = {0, 1, 2, 3};
+  const std::vector<topo::GpuId> cross = {0, 1, 8, 9};
+  for (const auto& gpus : {intra, cross}) {
+    EXPECT_LT(RelDiff(sim::AllReduceSecondsFlow(fabric_, gpus, 4e9),
+                      sim::AllReduceSeconds(cluster_, gpus, 4e9)),
+              0.01);
+    EXPECT_LT(RelDiff(sim::ReduceScatterSecondsFlow(fabric_, gpus, 4e9),
+                      sim::ReduceScatterSeconds(cluster_, gpus, 4e9)),
+              0.01);
+  }
+  // The NetModel dispatch overload routes to the same implementations.
+  EXPECT_DOUBLE_EQ(
+      sim::AllReduceSeconds(cluster_, cross, 4e9, NetModel::kFlow),
+      sim::AllReduceSecondsFlow(fabric_, cross, 4e9));
+  EXPECT_DOUBLE_EQ(
+      sim::AllReduceSeconds(cluster_, cross, 4e9, NetModel::kAnalytic),
+      sim::AllReduceSeconds(cluster_, cross, 4e9));
+}
+
+TEST_F(FlowSimTest, TwoFlowsOnSharedNicHalveBandwidth) {
+  // Acceptance: two concurrent cross-node flows from distinct GPUs of node
+  // 0 to distinct GPUs of node 1 share both the node-0 NIC egress and the
+  // node-1 NIC ingress, so each observes half the isolated bandwidth.
+  const double bytes = 10e9;
+  const double isolated = bytes / 200e9;
+  FlowSim fs(fabric_);
+  const int64_t a = fs.Submit({0, 8, bytes, 0.0, /*latency_seconds=*/0.0});
+  const int64_t b = fs.Submit({1, 9, bytes, 0.0, /*latency_seconds=*/0.0});
+  fs.Run();
+  EXPECT_LT(RelDiff(fs.outcome(a).seconds, 2.0 * isolated), 0.01);
+  EXPECT_LT(RelDiff(fs.outcome(b).seconds, 2.0 * isolated), 0.01);
+  // The shared NIC saturates; per-link accounting sees both flows.
+  const LinkUsage& nic = fs.link_usage()[fabric_.NicOut(0)];
+  EXPECT_DOUBLE_EQ(nic.bytes, 2.0 * bytes);
+  EXPECT_DOUBLE_EQ(nic.peak_utilization, 1.0);
+}
+
+TEST_F(FlowSimTest, MaxMinSharesRecomputeOnDeparture) {
+  // Flow B starts when A is half done; after A drains, B gets the full
+  // link. A: full rate for t0, half rate until done. With byte volume V
+  // and isolated time T: A ends at 1.5 T, B (same volume) ends at 2 T.
+  const double bytes = 10e9;
+  const double t_iso = bytes / 200e9;
+  FlowSim fs(fabric_);
+  const int64_t a = fs.Submit({0, 8, bytes, 0.0, /*latency_seconds=*/0.0});
+  const int64_t b = fs.Submit(
+      {1, 9, bytes, 0.5 * t_iso, /*latency_seconds=*/0.0});
+  fs.Run();
+  EXPECT_LT(RelDiff(fs.outcome(a).end_seconds, 1.5 * t_iso), 0.01);
+  EXPECT_LT(RelDiff(fs.outcome(b).end_seconds, 2.0 * t_iso), 0.01);
+}
+
+TEST_F(FlowSimTest, DisjointFlowsDoNotInteract) {
+  // Different node pairs, different ports: both flows run at full rate.
+  const double bytes = 10e9;
+  FlowSim fs(fabric_);
+  const int64_t a = fs.Submit({0, 1, bytes, 0.0, /*latency_seconds=*/0.0});
+  const int64_t b = fs.Submit({2, 3, bytes, 0.0, /*latency_seconds=*/0.0});
+  fs.Run();
+  EXPECT_LT(RelDiff(fs.outcome(a).seconds, bytes / 400e9), 0.01);
+  EXPECT_LT(RelDiff(fs.outcome(b).seconds, bytes / 400e9), 0.01);
+}
+
+TEST_F(FlowSimTest, SubmitRingDegenerateGroups) {
+  FlowSim fs(fabric_);
+  EXPECT_TRUE(SubmitRing(&fs, {}, 1e9, 0.0, 0.0).empty());
+  EXPECT_TRUE(SubmitRing(&fs, {3}, 1e9, 0.0, 0.0).empty());
+}
+
+TEST_F(FlowSimTest, RecordsMetrics) {
+  obs::MetricsRegistry::Global().ResetAll();
+  FlowSim fs(fabric_);
+  fs.Submit({0, 8, 10e9, 0.0});
+  fs.Submit({1, 9, 10e9, 0.0});
+  fs.Run();
+  RecordFlowSimMetrics(fs);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_DOUBLE_EQ(registry.GetCounter("net.flows")->Value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.GetCounter("net.bytes_total")->Value(), 20e9);
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("net.link.node0.nic.out.bytes")->Value(), 20e9);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("net.peak_link_utilization")->Value(), 1.0);
+  obs::MetricsRegistry::Global().ResetAll();
+}
+
+// Acceptance: for a fixed seed the flow model is deterministic — two
+// simulations of the same step produce byte-identical fabric metrics.
+TEST(FlowDeterminismTest, MetricsAreByteIdentical) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(2);
+  const model::CostModel cost(model::ModelSpec::Tiny(), cluster.gpu());
+  plan::UniformConfig cfg;
+  cfg.dp = 4;
+  cfg.tp = 2;
+  cfg.pp = 2;
+  cfg.global_batch = 32;
+  Result<plan::ParallelPlan> p =
+      plan::BuildUniformPlan(cluster, cost, cluster.AllGpus(), cfg);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const straggler::Situation healthy(cluster.num_gpus());
+  sim::SimOptions options;
+  options.net_model = NetModel::kFlow;
+
+  std::string snapshots[2];
+  for (std::string& snapshot : snapshots) {
+    obs::MetricsRegistry::Global().ResetAll();
+    Rng rng(1234);
+    Result<sim::StepResult> step =
+        sim::SimulateStep(cluster, cost, *p, healthy, options, &rng);
+    ASSERT_TRUE(step.ok());
+    snapshot = obs::MetricsRegistry::Global().ToJson();
+  }
+  EXPECT_EQ(snapshots[0], snapshots[1]);
+  EXPECT_NE(snapshots[0].find("net.bytes_total"), std::string::npos);
+  obs::MetricsRegistry::Global().ResetAll();
+}
+
+// The flow step simulator never prices a step cheaper than pure analytic
+// comm, and contention can only slow a step down.
+TEST(FlowStepTest, FlowStepAtLeastAnalytic) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(2);
+  const model::CostModel cost(model::ModelSpec::Tiny(), cluster.gpu());
+  plan::UniformConfig cfg;
+  cfg.dp = 4;
+  cfg.tp = 2;
+  cfg.pp = 2;
+  cfg.global_batch = 32;
+  Result<plan::ParallelPlan> p =
+      plan::BuildUniformPlan(cluster, cost, cluster.AllGpus(), cfg);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const straggler::Situation healthy(cluster.num_gpus());
+
+  double seconds[2];
+  for (const NetModel model : {NetModel::kAnalytic, NetModel::kFlow}) {
+    sim::SimOptions options;
+    options.timing_noise_stddev = 0.0;
+    options.net_model = model;
+    Rng rng(7);
+    Result<sim::StepResult> step =
+        sim::SimulateStep(cluster, cost, *p, healthy, options, &rng);
+    ASSERT_TRUE(step.ok());
+    seconds[model == NetModel::kFlow] = step->step_seconds;
+  }
+  EXPECT_GE(seconds[1], seconds[0] * (1.0 - 1e-9));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace malleus

@@ -68,6 +68,33 @@ TEST_F(CollectiveTest, EmptyTransferListIsFree) {
   EXPECT_DOUBLE_EQ(BatchedSendRecvSeconds(cluster_, {{0, 0, 1e9}}), 0.0);
 }
 
+TEST_F(CollectiveTest, BatchedSendRecvDegenerateInputs) {
+  // packs <= 0 means "no rounds": nothing can move, regardless of the
+  // transfer list.
+  EXPECT_DOUBLE_EQ(
+      BatchedSendRecvSeconds(cluster_, {{0, 1, 1e9}}, /*packs=*/0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      BatchedSendRecvSeconds(cluster_, {{0, 1, 1e9}}, /*packs=*/-3), 0.0);
+  // Zero-byte transfers contribute nothing, alone or mixed with self-moves.
+  EXPECT_DOUBLE_EQ(
+      BatchedSendRecvSeconds(cluster_, {{0, 1, 0.0}, {2, 2, 1e9}}), 0.0);
+  // The flow model honors the same conventions.
+  const net::Fabric fabric(cluster_);
+  EXPECT_DOUBLE_EQ(
+      BatchedSendRecvSecondsFlow(fabric, {{0, 1, 1e9}}, /*packs=*/0), 0.0);
+  EXPECT_DOUBLE_EQ(BatchedSendRecvSecondsFlow(fabric, {}, /*packs=*/1), 0.0);
+  EXPECT_DOUBLE_EQ(
+      BatchedSendRecvSecondsFlow(fabric, {{0, 1, 0.0}, {2, 2, 1e9}}), 0.0);
+}
+
+TEST_F(CollectiveTest, BottleneckBandwidthDegenerateGroups) {
+  // Documented convention: empty and single-GPU groups move no inter-GPU
+  // bytes; report the fastest (intra-node NVLink) bandwidth so degenerate
+  // groups never dominate a bottleneck computation.
+  EXPECT_DOUBLE_EQ(GroupBottleneckBandwidth(cluster_, {}), 400e9);
+  EXPECT_DOUBLE_EQ(GroupBottleneckBandwidth(cluster_, {9}), 400e9);
+}
+
 TEST(RestartTest, CostComposition) {
   RestartCostConfig cfg;
   const double load = CheckpointLoadSeconds(100e9, 2, cfg);

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Builds the tree and runs the full test suite under ASan + UBSan, proving
 # the process-global metrics registry (and everything else) race/UB-clean.
+# The suite runs twice: once per network cost model (MALLEUS_NET_MODEL=
+# analytic / flow), so both the closed-form and the contention-aware
+# flow-level fabric paths stay green.
 #
-#   tools/check.sh             # sanitized configure + build + ctest
+#   tools/check.sh             # sanitized configure + build + 2x ctest
 #   tools/check.sh --fast      # reuse an existing build-asan configure
 set -euo pipefail
 
@@ -21,5 +24,9 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
-echo "OK: build + tests clean under ASan/UBSan"
+for net_model in analytic flow; do
+  echo "== ctest (MALLEUS_NET_MODEL=$net_model) =="
+  MALLEUS_NET_MODEL="$net_model" \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+done
+echo "OK: build + tests clean under ASan/UBSan (analytic + flow net models)"
