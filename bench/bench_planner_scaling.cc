@@ -1,0 +1,206 @@
+// Planner thread-scaling bench: wall time of one Plan() call at worker
+// thread counts {1,2,4,8} across cluster sizes, plus the single-thread
+// speedup from a warm SolveCache (re-planning the same situation). Every
+// configuration must produce a bit-identical plan — the bench checks the
+// plan signatures and estimates and reports any divergence.
+//
+// Emits BENCH_planner_scaling.json (see bench::WriteBenchJson) with the
+// measured seconds, speedups and the identical-plan verdict per scenario.
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/planner.h"
+
+namespace malleus {
+namespace bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kReps = 3;  // Best-of-N per configuration.
+
+struct Scenario {
+  std::string label;
+  model::ModelSpec spec;
+  topo::ClusterSpec cluster;
+  straggler::Situation situation;
+  int64_t global_batch;
+  int dp_degree;  // 0 enumerates the full dp sweep (the heavy case).
+};
+
+struct Measured {
+  double seconds = std::numeric_limits<double>::infinity();
+  std::string signature;
+  double estimate = 0.0;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One cold Plan() call: fresh planner (empty cache) per repetition so every
+// run performs identical work; best-of-kReps wall time.
+Measured MeasureCold(const Scenario& sc, const model::CostModel& cost,
+                     int threads) {
+  Measured m;
+  for (int rep = 0; rep < kReps; ++rep) {
+    core::Planner planner(sc.cluster, cost);
+    core::PlannerOptions opts;
+    opts.dp_degree = sc.dp_degree;
+    opts.num_threads = threads;
+    const double t0 = Now();
+    Result<core::PlanResult> r =
+        planner.Plan(sc.situation, sc.global_batch, opts);
+    const double seconds = Now() - t0;
+    MALLEUS_CHECK_OK(r.status());
+    if (seconds < m.seconds) m.seconds = seconds;
+    m.signature = r->plan.Signature();
+    m.estimate = r->estimated_full_seconds;
+  }
+  return m;
+}
+
+// Warm-cache re-plan: one cold call fills the planner's SolveCache, then
+// the same situation is re-planned on the same planner (single thread).
+Measured MeasureWarm(const Scenario& sc, const model::CostModel& cost) {
+  Measured m;
+  core::Planner planner(sc.cluster, cost);
+  core::PlannerOptions opts;
+  opts.dp_degree = sc.dp_degree;
+  opts.num_threads = 1;
+  MALLEUS_CHECK_OK(
+      planner.Plan(sc.situation, sc.global_batch, opts).status());
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double t0 = Now();
+    Result<core::PlanResult> r =
+        planner.Plan(sc.situation, sc.global_batch, opts);
+    const double seconds = Now() - t0;
+    MALLEUS_CHECK_OK(r.status());
+    if (seconds < m.seconds) m.seconds = seconds;
+    m.signature = r->plan.Signature();
+    m.estimate = r->estimated_full_seconds;
+  }
+  return m;
+}
+
+// Cache-off single-thread run, for the cache-speedup denominator and the
+// cache-on/off plan-identity check.
+Measured MeasureNoCache(const Scenario& sc, const model::CostModel& cost) {
+  Measured m;
+  for (int rep = 0; rep < kReps; ++rep) {
+    core::Planner planner(sc.cluster, cost);
+    core::PlannerOptions opts;
+    opts.dp_degree = sc.dp_degree;
+    opts.num_threads = 1;
+    opts.enable_solve_cache = false;
+    const double t0 = Now();
+    Result<core::PlanResult> r =
+        planner.Plan(sc.situation, sc.global_batch, opts);
+    const double seconds = Now() - t0;
+    MALLEUS_CHECK_OK(r.status());
+    if (seconds < m.seconds) m.seconds = seconds;
+    m.signature = r->plan.Signature();
+    m.estimate = r->estimated_full_seconds;
+  }
+  return m;
+}
+
+void Run() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario sc{"32 GPUs (S3)", model::ModelSpec::Llama32B(),
+                topo::ClusterSpec::A800Cluster(4), straggler::Situation(32),
+                64, 0};
+    sc.situation = straggler::Situation::Canonical(sc.cluster,
+                                                   straggler::SituationId::kS3)
+                       .ValueOrDie();
+    scenarios.push_back(std::move(sc));
+  }
+  {
+    Scenario sc{"64 GPUs (S3)", model::ModelSpec::Llama110B(),
+                topo::ClusterSpec::A800Cluster(8), straggler::Situation(64),
+                64, 0};
+    sc.situation = straggler::Situation::Canonical(sc.cluster,
+                                                   straggler::SituationId::kS3)
+                       .ValueOrDie();
+    scenarios.push_back(std::move(sc));
+  }
+
+  std::string json = "{\"bench\":\"planner_scaling\",\"scenarios\":[";
+  TablePrinter table("planner thread scaling (cold cache, best of 3)");
+  table.SetHeader({"Scenario", "1 thread", "2 threads", "4 threads",
+                   "8 threads", "8T speedup", "cache speedup", "identical"});
+  bool first = true;
+  for (const Scenario& sc : scenarios) {
+    const model::CostModel cost(sc.spec, sc.cluster.gpu());
+    std::vector<Measured> by_threads;
+    for (int threads : kThreadCounts) {
+      by_threads.push_back(MeasureCold(sc, cost, threads));
+    }
+    const Measured warm = MeasureWarm(sc, cost);
+    const Measured nocache = MeasureNoCache(sc, cost);
+
+    bool identical = true;
+    for (const Measured& m : by_threads) {
+      identical = identical && m.signature == by_threads[0].signature &&
+                  m.estimate == by_threads[0].estimate;
+    }
+    identical = identical && warm.signature == by_threads[0].signature &&
+                nocache.signature == by_threads[0].signature &&
+                warm.estimate == by_threads[0].estimate &&
+                nocache.estimate == by_threads[0].estimate;
+
+    const double speedup_8t = by_threads[0].seconds / by_threads[3].seconds;
+    const double speedup_cache = nocache.seconds / warm.seconds;
+    table.AddRow({sc.label, StrFormat("%.3fs", by_threads[0].seconds),
+                  StrFormat("%.3fs", by_threads[1].seconds),
+                  StrFormat("%.3fs", by_threads[2].seconds),
+                  StrFormat("%.3fs", by_threads[3].seconds),
+                  StrFormat("%.2fx", speedup_8t),
+                  StrFormat("%.2fx", speedup_cache),
+                  identical ? "yes" : "NO"});
+
+    if (!first) json += ",";
+    first = false;
+    json += StrFormat("{\"label\":\"%s\",\"threads\":[",
+                      JsonEscape(sc.label).c_str());
+    for (size_t i = 0; i < by_threads.size(); ++i) {
+      if (i > 0) json += ",";
+      json += StrFormat("{\"threads\":%d,\"seconds\":%.6f,\"speedup\":%.3f}",
+                        kThreadCounts[i], by_threads[i].seconds,
+                        by_threads[0].seconds / by_threads[i].seconds);
+    }
+    json += StrFormat(
+        "],\"cache\":{\"cold_seconds\":%.6f,\"warm_seconds\":%.6f,"
+        "\"nocache_seconds\":%.6f,\"speedup\":%.3f},"
+        "\"identical_plans\":%s}",
+        by_threads[0].seconds, warm.seconds, nocache.seconds, speedup_cache,
+        identical ? "true" : "false");
+  }
+  json += "]}\n";
+  table.Print();
+  std::printf(
+      "\nIdentical = plan signature and full-step estimate match across all\n"
+      "thread counts, warm/cold cache and cache-off. Thread speedups are\n"
+      "bounded by the machine's core count; on a single-core host all\n"
+      "thread columns measure the same serialized work.\n");
+  WriteBenchJson("planner_scaling", json);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace malleus
+
+int main() {
+  std::printf("Malleus bench: planner thread scaling + solve cache\n\n");
+  malleus::bench::Run();
+  malleus::bench::DumpBenchMetrics("planner_scaling");
+  return 0;
+}

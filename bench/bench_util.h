@@ -98,6 +98,26 @@ inline double GeoMean(const std::vector<double>& values) {
   return std::exp(log_sum / values.size());
 }
 
+/// Writes a bench's machine-readable result JSON to BENCH_<name>.json in
+/// the working directory (or under $MALLEUS_BENCH_OUT_DIR when set), so
+/// harness runs leave a stable artifact next to the binary output.
+inline void WriteBenchJson(const char* bench_name, const std::string& json) {
+  std::string path;
+  if (const char* dir = std::getenv("MALLEUS_BENCH_OUT_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/";
+  }
+  path += StrFormat("BENCH_%s.json", bench_name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench result to %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
 /// Attaches the global metrics snapshot to the bench's machine-readable
 /// output. Call at the end of main():
 ///   - MALLEUS_BENCH_METRICS_OUT=FILE writes

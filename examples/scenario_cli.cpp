@@ -14,6 +14,10 @@
 //   --net-model=analytic|flow   comm pricing: isolated closed forms, or the
 //                               contention-aware flow-level fabric simulator
 //                               (default: build/env default, see net/fabric.h)
+//   --planner-threads=N         worker threads for the planner's candidate
+//                               sweep; 0 = MALLEUS_PLANNER_THREADS env or
+//                               hardware concurrency (default 0). The chosen
+//                               plan is identical at every thread count.
 //   --baselines                 also run Megatron/DeepSpeed for comparison
 //
 // Observability outputs (all produced from the Malleus run only):
@@ -55,6 +59,7 @@ struct Args {
   std::vector<std::string> trace;
   uint64_t seed = 42;
   net::NetModel net_model = net::DefaultNetModel();
+  int planner_threads = 0;
   bool baselines = false;
   std::string trace_out;
   std::string metrics_out;
@@ -117,6 +122,12 @@ bool ParseArgs(int argc, char** argv, Args* out) {
         return false;
       }
       out->net_model = *model;
+    } else if (const char* v = value("--planner-threads=")) {
+      out->planner_threads = std::atoi(v);
+      if (out->planner_threads < 0) {
+        std::fprintf(stderr, "--planner-threads must be >= 0\n");
+        return false;
+      }
     } else if (arg == "--baselines") {
       out->baselines = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -157,7 +168,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--model=32b|70b|110b|tiny] [--nodes=N] "
                  "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
-                 "[--seed=S] [--net-model=analytic|flow] [--baselines] "
+                 "[--seed=S] [--net-model=analytic|flow] "
+                 "[--planner-threads=N] [--baselines] "
                  "[--trace-out=FILE] "
                  "[--metrics-out=FILE] [--events-out=FILE] "
                  "[--csv-out=FILE]\n",
@@ -203,6 +215,7 @@ int main(int argc, char** argv) {
   core::EngineOptions eng;
   eng.seed = args.seed;
   eng.sim.net_model = args.net_model;
+  eng.planner.num_threads = args.planner_threads;
   // Replace the planner's measured wall time by a representative constant
   // so every exported artifact is byte-reproducible for a fixed --seed.
   eng.planning_seconds_override = 0.02;

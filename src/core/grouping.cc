@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numeric>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -35,23 +37,89 @@ double ArrangementCapacity(const model::CostModel& cost,
   return capacity;
 }
 
-// Best contiguous arrangement of the multiset `sizes`: tries every unique
-// permutation (Proposition 4 reduces the search to these) and returns the
-// capacity-maximizing order.
+// Memo of BestArrangement results for one node's (fixed) rate vector,
+// keyed by the sorted size multiset. The splitting loop proposes the same
+// multiset repeatedly (isolating different stragglers often produces
+// identical block compositions), so grouping pays for each one only once.
+using ArrangementCache = std::map<std::vector<int>, std::pair<std::vector<int>, double>>;
+
+// DFS state of the arrangement search below.
+struct ArrangementSearch {
+  const model::CostModel& cost;
+  const std::vector<double>& rates;
+  std::vector<int> distinct;    // Distinct block sizes, ascending.
+  std::vector<int> remaining;   // Count left of each distinct size.
+  std::vector<double> inv_rho;  // 1 / rho(size), parallel to distinct.
+  double min_rate = 1.0;        // Smallest (last) rate of the node.
+  std::vector<int> prefix;      // Current partial arrangement.
+  std::vector<int> best;
+  double best_cap = -1.0;
+};
+
+// Extends `prefix` (capacity so far `cap`, next block starts at `pos`) by
+// every remaining size in ascending order — lexicographic enumeration,
+// matching the std::next_permutation sweep this replaces, so the first
+// strict maximum found is the same arrangement the full sweep would pick.
+// Branches are pruned when even placing every remaining block on the
+// node's cheapest rate cannot strictly beat the incumbent.
+void ExtendArrangement(ArrangementSearch& s, size_t pos, double cap) {
+  if (pos == s.rates.size()) {
+    if (cap > s.best_cap) {
+      s.best_cap = cap;
+      s.best = s.prefix;
+    }
+    return;
+  }
+  // Upper bound on the remaining capacity: every leftover block placed at
+  // the node's minimum rate (rates are sorted descending, so no position
+  // can price a block cheaper than rates.back()).
+  double bound = 0.0;
+  for (size_t d = 0; d < s.distinct.size(); ++d) {
+    bound += s.remaining[d] * s.inv_rho[d] / s.min_rate;
+  }
+  if (cap + bound <= s.best_cap) return;  // Cannot strictly improve.
+  for (size_t d = 0; d < s.distinct.size(); ++d) {
+    if (s.remaining[d] == 0) continue;
+    const int size = s.distinct[d];
+    --s.remaining[d];
+    s.prefix.push_back(size);
+    ExtendArrangement(s, pos + size,
+                      cap + s.inv_rho[d] / s.rates[pos]);
+    s.prefix.pop_back();
+    ++s.remaining[d];
+  }
+}
+
+// Best contiguous arrangement of the multiset `sizes`: searches the unique
+// permutations (Proposition 4 reduces the search to these) in lexicographic
+// order with branch-and-bound pruning, and returns the capacity-maximizing
+// order. Results are memoized per size multiset in `cache` (pass nullptr
+// to skip memoization); the cache is only valid for one `rates` vector.
 std::pair<std::vector<int>, double> BestArrangement(
     const model::CostModel& cost, const std::vector<double>& rates,
-    std::vector<int> sizes) {
+    std::vector<int> sizes, ArrangementCache* cache = nullptr) {
   std::sort(sizes.begin(), sizes.end());
-  std::vector<int> best = sizes;
-  double best_cap = -1.0;
-  do {
-    const double cap = ArrangementCapacity(cost, rates, sizes);
-    if (cap > best_cap) {
-      best_cap = cap;
-      best = sizes;
+  if (cache != nullptr) {
+    auto it = cache->find(sizes);
+    if (it != cache->end()) return it->second;
+  }
+  ArrangementSearch s{cost, rates};
+  for (int size : sizes) {
+    if (s.distinct.empty() || s.distinct.back() != size) {
+      s.distinct.push_back(size);
+      s.remaining.push_back(1);
+      s.inv_rho.push_back(1.0 / cost.Rho(size));
+    } else {
+      ++s.remaining.back();
     }
-  } while (std::next_permutation(sizes.begin(), sizes.end()));
-  return {best, best_cap};
+  }
+  s.min_rate = rates.back();
+  s.prefix.reserve(sizes.size());
+  ExtendArrangement(s, 0, 0.0);
+  MALLEUS_CHECK_GE(s.best_cap, 0.0);
+  auto result = std::make_pair(std::move(s.best), s.best_cap);
+  if (cache != nullptr) (*cache)[sizes] = result;
+  return result;
 }
 
 }  // namespace
@@ -118,12 +186,14 @@ Result<GroupingResult> GroupGpus(const topo::ClusterSpec& cluster,
     // the best placement of the power-of-two composition (needed after
     // failures leave a ragged count).
     const int live = static_cast<int>(st.gpus.size());
+    ArrangementCache arrangement_cache;
     std::vector<int> sizes;
     if (live % k == 0) {
       sizes.assign(live / k, k);
     } else {
       sizes = PowerOfTwoComposition(live, k);
-      sizes = BestArrangement(cost, st.rates, sizes).first;
+      sizes =
+          BestArrangement(cost, st.rates, sizes, &arrangement_cache).first;
     }
     double capacity = ArrangementCapacity(cost, st.rates, sizes);
 
@@ -149,8 +219,9 @@ Result<GroupingResult> GroupGpus(const topo::ClusterSpec& cluster,
             PowerOfTwoComposition(sizes[block] - 1, k);
         candidate_sizes.insert(candidate_sizes.end(), rest.begin(),
                                rest.end());
-        auto [arranged, cap] =
-            BestArrangement(cost, st.rates, candidate_sizes);
+        auto [arranged, cap] = BestArrangement(cost, st.rates,
+                                               candidate_sizes,
+                                               &arrangement_cache);
         // Theorem 2: adopt the split only if it strictly improves the
         // estimated capacity (i.e. lowers the relaxed optimal time).
         if (cap > capacity * (1.0 + 1e-12)) {

@@ -34,12 +34,62 @@ std::vector<int> StagesForSizeOrder(
   return stages;
 }
 
+// Cache value types. Both store the full Result: infeasible subproblems
+// recur across the b x dp sweep just like feasible ones, and replaying the
+// original Status keeps cached and uncached runs byte-identical.
+struct CachedLayers {
+  Status status;
+  LayerAssignment assignment;
+};
+
+struct CachedOrchestration {
+  Status status;
+  OrchestrationResult result;
+};
+
+// Solves Eq. (2) for one ordered stage profile, memoized by the profile.
+// The same (rates, sizes, b, DP) quadruple is solved for every pipeline
+// that shares the composition, for every bundle permutation that reproduces
+// it, and again across the planner's candidate sweep.
+Result<LayerAssignment> CachedAssignLayers(
+    const std::vector<double>& rates, const std::vector<int>& sizes,
+    int micro_batch, int dp_degree, const model::CostModel& cost,
+    bool nonuniform_layers, solver::SolveCache* cache) {
+  if (cache == nullptr) {
+    return AssignLayers(rates, sizes, micro_batch, dp_degree, cost,
+                        nonuniform_layers);
+  }
+  const std::string key = solver::CacheKey()
+                              .Tag('L')
+                              .Doubles(rates)
+                              .Ints(sizes)
+                              .Int(micro_batch)
+                              .Int(dp_degree)
+                              .Bool(nonuniform_layers)
+                              .str();
+  if (auto hit = cache->LookupAs<CachedLayers>(key)) {
+    if (!hit->status.ok()) return hit->status;
+    return hit->assignment;
+  }
+  Result<LayerAssignment> r = AssignLayers(rates, sizes, micro_batch,
+                                           dp_degree, cost, nonuniform_layers);
+  CachedLayers entry;
+  if (r.ok()) {
+    entry.assignment = *r;
+  } else {
+    entry.status = r.status();
+  }
+  cache->InsertAs(key, std::move(entry));
+  return r;
+}
+
 }  // namespace
 
 Result<OrchestratedPipeline> OrderAndAssignLayers(
     const std::vector<int>& group_indices, const GroupingResult& grouping,
     const model::CostModel& cost, int micro_batch, int dp_degree,
-    bool nonuniform_layers, std::vector<int>* removed) {
+    bool nonuniform_layers, std::vector<int>* removed,
+    solver::SolveCache* solve_cache) {
   std::vector<int> working = group_indices;
   if (working.empty()) {
     return Status::InvalidArgument("pipeline has no groups");
@@ -74,8 +124,9 @@ Result<OrchestratedPipeline> OrderAndAssignLayers(
         rates.push_back(grouping.rates[g]);
         sizes.push_back(grouping.groups[g].size());
       }
-      Result<LayerAssignment> assigned = AssignLayers(
-          rates, sizes, micro_batch, dp_degree, cost, nonuniform_layers);
+      Result<LayerAssignment> assigned =
+          CachedAssignLayers(rates, sizes, micro_batch, dp_degree, cost,
+                             nonuniform_layers, solve_cache);
       if (!assigned.ok()) continue;
       if (!found || assigned->bottleneck < best.bottleneck) {
         found = true;
@@ -110,11 +161,13 @@ Result<OrchestratedPipeline> OrderAndAssignLayers(
   }
 }
 
-Result<OrchestrationResult> Orchestrate(const GroupingResult& grouping,
-                                        const model::CostModel& cost,
-                                        int micro_batch, int dp_degree,
-                                        int64_t total_micro,
-                                        const OrchestrationOptions& options) {
+namespace {
+
+// The uncached orchestration body; Orchestrate() below adds memoization.
+Result<OrchestrationResult> OrchestrateImpl(
+    const GroupingResult& grouping, const model::CostModel& cost,
+    int micro_batch, int dp_degree, int64_t total_micro,
+    const OrchestrationOptions& options) {
   const int num_groups = static_cast<int>(grouping.groups.size());
   if (dp_degree <= 0) {
     return Status::InvalidArgument("DP degree must be positive");
@@ -245,7 +298,8 @@ Result<OrchestrationResult> Orchestrate(const GroupingResult& grouping,
   for (int i = 0; i < dp_degree; ++i) {
     Result<OrchestratedPipeline> pipe = OrderAndAssignLayers(
         membership[i], grouping, cost, micro_batch, dp_degree,
-        options.nonuniform_layers, &out.removed_groups);
+        options.nonuniform_layers, &out.removed_groups,
+        options.solve_cache);
     if (!pipe.ok()) return pipe.status();
     out.pipelines.push_back(std::move(pipe).ValueOrDie());
   }
@@ -254,6 +308,54 @@ Result<OrchestrationResult> Orchestrate(const GroupingResult& grouping,
                                     order_start)
           .count();
   return out;
+}
+
+}  // namespace
+
+Result<OrchestrationResult> Orchestrate(const GroupingResult& grouping,
+                                        const model::CostModel& cost,
+                                        int micro_batch, int dp_degree,
+                                        int64_t total_micro,
+                                        const OrchestrationOptions& options) {
+  if (options.solve_cache == nullptr) {
+    return OrchestrateImpl(grouping, cost, micro_batch, dp_degree,
+                           total_micro, options);
+  }
+  // The outcome depends only on the grouping's (rate, size) profile and the
+  // scalar candidate parameters (plus the cost model, fixed per cache —
+  // see OrchestrationOptions::solve_cache).
+  std::vector<int> sizes;
+  sizes.reserve(grouping.groups.size());
+  for (const plan::TpGroup& g : grouping.groups) sizes.push_back(g.size());
+  const std::string key = solver::CacheKey()
+                              .Tag('O')
+                              .Doubles(grouping.rates)
+                              .Ints(sizes)
+                              .Int(micro_batch)
+                              .Int(dp_degree)
+                              .Int(total_micro)
+                              .Bool(options.nonuniform_layers)
+                              .Bool(options.nonuniform_stages)
+                              .Int(options.max_division_nodes)
+                              .str();
+  if (auto hit = options.solve_cache->LookupAs<CachedOrchestration>(key)) {
+    if (!hit->status.ok()) return hit->status;
+    OrchestrationResult replay = hit->result;
+    // A replay spends no solver time; report what this call actually cost.
+    replay.division_seconds = 0.0;
+    replay.ordering_seconds = 0.0;
+    return replay;
+  }
+  Result<OrchestrationResult> r = OrchestrateImpl(
+      grouping, cost, micro_batch, dp_degree, total_micro, options);
+  CachedOrchestration entry;
+  if (r.ok()) {
+    entry.result = *r;
+  } else {
+    entry.status = r.status();
+  }
+  options.solve_cache->InsertAs(key, std::move(entry));
+  return r;
 }
 
 }  // namespace core

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "core/grouping.h"
 #include "model/cost_model.h"
+#include "solver/solve_cache.h"
 
 namespace malleus {
 namespace core {
@@ -43,6 +44,13 @@ struct OrchestrationOptions {
   bool nonuniform_stages = true;
   /// Node budget of the division search.
   int64_t max_division_nodes = 500'000;
+  /// Optional memo of orchestration and layer-assignment solves. The
+  /// orchestration outcome depends only on the grouping's (rate, size)
+  /// profile, the micro-batch size, the DP degree, M and the flags above —
+  /// plus the cost model, which is deliberately NOT part of the key: a
+  /// cache must only ever be used with one cost model (core::Planner keys
+  /// one cache per instance). Null disables memoization.
+  solver::SolveCache* solve_cache = nullptr;
 };
 
 /// Orchestrates `dp_degree` pipelines over the grouping result and solves
@@ -58,10 +66,13 @@ Result<OrchestrationResult> Orchestrate(const GroupingResult& grouping,
 /// bundle (Theorem 3), every bundle permutation is evaluated, and the
 /// feasible order with the lowest bottleneck wins. Groups assigned zero
 /// layers are dropped into `removed` and the assignment is re-solved.
+/// `solve_cache` (optional) memoizes the per-permutation Eq. (2) solves by
+/// their (rates, sizes, b, DP) profile; see OrchestrationOptions.
 Result<OrchestratedPipeline> OrderAndAssignLayers(
     const std::vector<int>& group_indices, const GroupingResult& grouping,
     const model::CostModel& cost, int micro_batch, int dp_degree,
-    bool nonuniform_layers, std::vector<int>* removed);
+    bool nonuniform_layers, std::vector<int>* removed,
+    solver::SolveCache* solve_cache = nullptr);
 
 }  // namespace core
 }  // namespace malleus

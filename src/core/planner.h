@@ -3,6 +3,15 @@
 // enumerating the maximum TP degree in {1,2,4,8} and the micro-batch size,
 // solving the upper-level problem (grouping + orchestration) and the
 // lower-level problem (layer + data assignment) for each candidate.
+//
+// Candidates are independent, so Plan() enumerates them all up front and
+// evaluates them concurrently on a malleus::exec thread pool, reducing to
+// the winner with a deterministic rule (lowest full-step estimate, ties to
+// the lowest enumeration index). The result is bit-identical at any thread
+// count, including 1. Repeated subproblems are memoized in a per-planner
+// solver::SolveCache (see orchestration.h), which also persists across
+// Plan() calls: re-planning under an unchanged situation replays cached
+// solves instead of re-running the division/ILP searches.
 
 #ifndef MALLEUS_CORE_PLANNER_H_
 #define MALLEUS_CORE_PLANNER_H_
@@ -16,6 +25,7 @@
 #include "core/orchestration.h"
 #include "model/cost_model.h"
 #include "plan/plan.h"
+#include "solver/solve_cache.h"
 #include "straggler/situation.h"
 #include "topology/cluster.h"
 
@@ -35,9 +45,22 @@ struct PlannerOptions {
   bool nonuniform_data = true;     ///< Eq. (3) vs even data split.
   /// Node budget for the Eq. (4) division search per candidate.
   int64_t max_division_nodes = 500'000;
+  /// Worker threads for the candidate sweep. 0 picks the default: the
+  /// MALLEUS_PLANNER_THREADS environment variable when set, otherwise the
+  /// hardware concurrency. 1 evaluates inline on the calling thread. The
+  /// chosen plan is bit-identical at every thread count.
+  int num_threads = 0;
+  /// Memoize division/layer solves in the planner's SolveCache (across
+  /// candidates and across Plan calls). Off re-solves everything; the
+  /// chosen plan is identical either way.
+  bool enable_solve_cache = true;
 };
 
 /// Wall-time breakdown of one planning run (Appendix A.2 / Table 5).
+/// Component times are summed over candidates (never negative; clamped at
+/// attribution); with more than one worker thread they aggregate busy time
+/// across workers and may exceed `total_seconds`, which is always the
+/// wall-clock time of the whole Plan() call.
 struct PlannerTimings {
   double grouping_seconds = 0.0;
   double division_seconds = 0.0;
@@ -69,9 +92,16 @@ class Planner {
                           const PlannerOptions& options = PlannerOptions())
       const;
 
+  /// The planner's memo of division/layer solves (valid for this planner's
+  /// cost model only). Exposed for tests and cache-management callers.
+  solver::SolveCache& solve_cache() const { return solve_cache_; }
+
  private:
   const topo::ClusterSpec& cluster_;
   const model::CostModel& cost_;
+  /// Keyed to cost_ (see OrchestrationOptions::solve_cache); mutable so
+  /// the logically-const Plan() can memoize. Internally thread-safe.
+  mutable solver::SolveCache solve_cache_;
 };
 
 }  // namespace core

@@ -1,0 +1,104 @@
+// malleus::exec — a small work-stealing thread pool for CPU-bound search
+// workloads (the planner's candidate sweep is the primary user).
+//
+// Design: every worker owns a deque; Submit() round-robins new tasks over
+// the worker deques, workers pop their own deque LIFO (cache-friendly for
+// recursively submitted work) and steal FIFO from their siblings when their
+// own deque drains. Completion is tracked by the caller through WaitGroup,
+// mirroring Go's sync.WaitGroup: Add() before submitting, Done() inside the
+// task, Wait() to block until everything finished.
+//
+// The pool makes no fairness or ordering guarantees; callers that need
+// deterministic results must make their tasks independent and reduce the
+// collected outputs in a deterministic order (see core::Planner::Plan).
+
+#ifndef MALLEUS_EXEC_THREAD_POOL_H_
+#define MALLEUS_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace malleus {
+namespace exec {
+
+/// Go-style completion latch: Add(n) before handing out n tasks, Done()
+/// as each finishes, Wait() blocks until the count returns to zero.
+class WaitGroup {
+ public:
+  void Add(int64_t n = 1);
+  void Done();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_ = 0;
+};
+
+/// \brief Fixed-size work-stealing thread pool.
+///
+/// Tasks submitted with Submit() run on one of `num_threads` workers; the
+/// destructor drains every queued task before joining. A pool of one thread
+/// still runs tasks on its single worker, so Submit() never executes the
+/// task inline on the calling thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution; thread-safe, including from inside a
+  /// running task (the nested task is queued like any other and runs on
+  /// some worker — never inline in the submitter).
+  void Submit(std::function<void()> task);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void WorkerLoop(int worker_index);
+  /// Pops from the worker's own deque (back) or steals from a sibling
+  /// (front). Returns an empty function when no task is available.
+  std::function<void()> TakeTask(int worker_index);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // Sleep/wake state: `queued_` counts tasks sitting in deques (not yet
+  // started); workers sleep on `wake_cv_` when it reaches zero.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  int64_t queued_ = 0;
+  bool stop_ = false;
+
+  // Round-robin submission cursor (guarded by wake_mu_).
+  size_t next_worker_ = 0;
+};
+
+/// Number of planner worker threads to use when the caller does not pin one:
+/// the MALLEUS_PLANNER_THREADS environment variable when set to a positive
+/// integer, otherwise the hardware concurrency (at least 1).
+int DefaultPlannerThreads();
+
+/// Runs body(0), ..., body(n-1), distributing the iterations over `pool`
+/// and blocking until all complete. With a null pool (or n <= 1) the loop
+/// runs inline on the calling thread, in index order. Bodies must not throw.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace exec
+}  // namespace malleus
+
+#endif  // MALLEUS_EXEC_THREAD_POOL_H_

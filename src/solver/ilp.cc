@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <queue>
 
 #include "obs/metrics.h"
 
@@ -13,11 +14,32 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// An open node of the branch-and-bound tree: a bound box plus the LP
+// objective of its parent's relaxation (a valid lower bound on every
+// integral solution inside the box, since child boxes only shrink).
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
+  double bound = -kInf;
+  int64_t id = 0;  // Creation sequence number; tie-break for determinism.
 };
 
+// Best-first order: lowest bound pops first so the search hits strong
+// incumbents early and the `bound >= best` prune fires as often as
+// possible; equal bounds pop in creation order, making the exploration
+// (and the node accounting) fully deterministic.
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.id > b.id;
+  }
+};
+
+// LP-relaxation branch-and-bound over an explicit best-first node queue.
+// The explicit frontier (instead of recursion) keeps deep branchings off
+// the call stack and makes the node-limit accounting exact: every node
+// counted was popped and had its relaxation solved, and the search stops
+// the moment the budget is exceeded.
 class BranchAndBound {
  public:
   BranchAndBound(const IntegerProgram& ip, const IlpOptions& opts)
@@ -32,8 +54,22 @@ class BranchAndBound {
     root.upper = ip_.lp.upper_bounds;
     root.lower.resize(ip_.lp.num_vars(), 0.0);
     root.upper.resize(ip_.lp.num_vars(), kInf);
+    root.bound = -kInf;
+    root.id = next_id_++;
 
-    MALLEUS_RETURN_NOT_OK(Explore(root));
+    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+    open.push(std::move(root));
+
+    while (!open.empty()) {
+      Node node = open.top();
+      open.pop();
+      // A node queued before the incumbent improved may be prunable now.
+      if (node.bound >= best_obj_ - 1e-9) continue;
+      if (++nodes_ > opts_.max_nodes) {
+        return Status::ResourceExhausted("branch-and-bound node limit hit");
+      }
+      MALLEUS_RETURN_NOT_OK(Expand(node, &open));
+    }
 
     if (!std::isfinite(best_obj_)) {
       return Status::Infeasible("no integral feasible solution");
@@ -41,16 +77,17 @@ class BranchAndBound {
     IlpSolution sol;
     sol.x = best_x_;
     sol.objective = best_obj_;
-    sol.nodes_explored = nodes_;
+    sol.nodes_explored = static_cast<int>(nodes_);
     return sol;
   }
 
- private:
-  Status Explore(const Node& node) {  // NOLINT(misc-no-recursion)
-    if (++nodes_ > opts_.max_nodes) {
-      return Status::ResourceExhausted("branch-and-bound node limit hit");
-    }
+  int nodes() const { return static_cast<int>(nodes_); }
 
+ private:
+  // Solves the node's relaxation and either records an integral incumbent
+  // or pushes the two child boxes of the most fractional variable.
+  Status Expand(const Node& node,
+                std::priority_queue<Node, std::vector<Node>, NodeOrder>* open) {
     LinearProgram relax = ip_.lp;
     relax.lower_bounds = node.lower;
     relax.upper_bounds = node.upper;
@@ -105,24 +142,30 @@ class BranchAndBound {
 
     const double v = lp_sol.x[branch_var];
     // Down branch: x <= floor(v).
-    Node down = node;
+    Node down;
+    down.lower = node.lower;
+    down.upper = node.upper;
     down.upper[branch_var] = std::floor(v);
-    MALLEUS_RETURN_NOT_OK(Explore(down));
+    down.bound = lp_sol.objective;
+    down.id = next_id_++;
+    open->push(std::move(down));
     // Up branch: x >= ceil(v).
-    Node up = node;
+    Node up;
+    up.lower = node.lower;
+    up.upper = node.upper;
     up.lower[branch_var] = std::ceil(v);
-    return Explore(up);
+    up.bound = lp_sol.objective;
+    up.id = next_id_++;
+    open->push(std::move(up));
+    return Status::OK();
   }
 
- public:
-  int nodes() const { return nodes_; }
-
- private:
   const IntegerProgram& ip_;
   const IlpOptions& opts_;
   double best_obj_ = kInf;
   std::vector<double> best_x_;
-  int nodes_ = 0;
+  int64_t nodes_ = 0;
+  int64_t next_id_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,114 @@
+#include "solver/solve_cache.h"
+
+#include <cstring>
+
+namespace malleus {
+namespace solver {
+
+namespace {
+
+// Field type markers; distinct from plausible Tag() characters is not
+// required (Tag has its own marker byte), only mutual distinctness is.
+enum : char {
+  kMarkTag = 'T',
+  kMarkBool = 'B',
+  kMarkInt = 'I',
+  kMarkDouble = 'D',
+  kMarkIntVec = 'i',
+  kMarkDoubleVec = 'd',
+};
+
+}  // namespace
+
+void CacheKey::AppendRaw64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  bytes_.append(buf, 8);
+}
+
+CacheKey& CacheKey::Tag(char tag) {
+  bytes_.push_back(kMarkTag);
+  bytes_.push_back(tag);
+  return *this;
+}
+
+CacheKey& CacheKey::Bool(bool v) {
+  bytes_.push_back(kMarkBool);
+  bytes_.push_back(v ? 1 : 0);
+  return *this;
+}
+
+CacheKey& CacheKey::Int(int64_t v) {
+  bytes_.push_back(kMarkInt);
+  AppendRaw64(static_cast<uint64_t>(v));
+  return *this;
+}
+
+CacheKey& CacheKey::Double(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  bytes_.push_back(kMarkDouble);
+  AppendRaw64(bits);
+  return *this;
+}
+
+CacheKey& CacheKey::Ints(const std::vector<int>& v) {
+  bytes_.push_back(kMarkIntVec);
+  AppendRaw64(v.size());
+  for (int x : v) AppendRaw64(static_cast<uint64_t>(static_cast<int64_t>(x)));
+  return *this;
+}
+
+CacheKey& CacheKey::Doubles(const std::vector<double>& v) {
+  bytes_.push_back(kMarkDoubleVec);
+  AppendRaw64(v.size());
+  for (double x : v) {
+    uint64_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    AppendRaw64(bits);
+  }
+  return *this;
+}
+
+std::shared_ptr<const void> SolveCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void SolveCache::Insert(const std::string& key,
+                        std::shared_ptr<const void> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
+    entries_.clear();
+  }
+  entries_.emplace(key, std::move(value));
+}
+
+SolveCache::Stats SolveCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_};
+}
+
+size_t SolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SolveCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace solver
+}  // namespace malleus

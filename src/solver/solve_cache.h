@@ -1,0 +1,117 @@
+// Thread-safe memoization of solver results across a planner sweep.
+//
+// The planner re-solves structurally identical subproblems dozens of times
+// per Plan() call (the same stage composition appears in many pipelines and
+// bundle permutations) and re-solves the exact same orchestration problems
+// on every re-planning event when the straggler situation has not changed.
+// SolveCache stores those results behind a canonical byte-string key built
+// with CacheKey.
+//
+// Keying contract: the key must encode EVERY input that affects the solver's
+// output. Inputs that are fixed for the cache's lifetime (most importantly
+// the model::CostModel, which core::Planner fixes per instance) may be left
+// out of the key, which is why a SolveCache must never be shared between
+// planners with different cost models.
+//
+// Thread-safety: all operations are guarded by one internal mutex. Two
+// threads racing on the same missing key will both solve and both insert;
+// the solvers are deterministic, so both compute identical values and the
+// cache contents are well-defined regardless of interleaving (only the
+// hit/miss statistics can vary run to run).
+
+#ifndef MALLEUS_SOLVER_SOLVE_CACHE_H_
+#define MALLEUS_SOLVER_SOLVE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace malleus {
+namespace solver {
+
+/// \brief Canonical, collision-free byte encoding of a subproblem.
+///
+/// Every appended field is prefixed with a one-byte type marker and vectors
+/// additionally with their length, so distinct field sequences can never
+/// encode to the same bytes (e.g. rates=[1,2],sizes=[3] differs from
+/// rates=[1],sizes=[2,3]). Doubles are encoded by bit pattern: keys
+/// distinguish values that compare equal but differ in representation
+/// (-0.0 vs 0.0), which is the conservative direction for a cache.
+class CacheKey {
+ public:
+  /// Domain tag separating key spaces (e.g. 'O' orchestration, 'L' layers).
+  CacheKey& Tag(char tag);
+  CacheKey& Bool(bool v);
+  CacheKey& Int(int64_t v);
+  CacheKey& Double(double v);
+  CacheKey& Ints(const std::vector<int>& v);
+  CacheKey& Doubles(const std::vector<double>& v);
+
+  const std::string& str() const { return bytes_; }
+
+ private:
+  void AppendRaw64(uint64_t v);
+
+  std::string bytes_;
+};
+
+/// \brief Thread-safe key -> solved-result store.
+///
+/// Values are stored type-erased as shared_ptr<const void>; the typed
+/// LookupAs/InsertAs helpers cast them back. Callers must namespace their
+/// keys with CacheKey::Tag so two value types never share a key.
+class SolveCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  /// `max_entries` bounds memory: when an insert would exceed it, the whole
+  /// cache is dropped (simple and good enough for sweep workloads whose
+  /// working set is far below the bound).
+  explicit SolveCache(size_t max_entries = 1 << 20)
+      : max_entries_(max_entries) {}
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Returns the value stored under `key`, or nullptr. Counts a hit/miss.
+  std::shared_ptr<const void> Lookup(const std::string& key);
+  /// Stores `value` under `key` (first insert wins on a race; both racers
+  /// computed the same value, see header comment).
+  void Insert(const std::string& key, std::shared_ptr<const void> value);
+
+  /// Typed lookup; T must match the type inserted under this key's tag.
+  template <typename T>
+  std::shared_ptr<const T> LookupAs(const std::string& key) {
+    return std::static_pointer_cast<const T>(Lookup(key));
+  }
+  /// Typed insert; returns the stored pointer for immediate use.
+  template <typename T>
+  std::shared_ptr<const T> InsertAs(const std::string& key, T value) {
+    auto ptr = std::make_shared<const T>(std::move(value));
+    Insert(key, ptr);
+    return ptr;
+  }
+
+  Stats stats() const;
+  size_t size() const;
+  void Clear();
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const void>> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace solver
+}  // namespace malleus
+
+#endif  // MALLEUS_SOLVER_SOLVE_CACHE_H_

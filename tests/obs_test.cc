@@ -7,6 +7,7 @@
 #include <cctype>
 #include <cmath>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "model/cost_model.h"
@@ -275,6 +276,34 @@ TEST(MetricsRegistryTest, GlobalIsStable) {
   EXPECT_EQ(&a, &b);
   EXPECT_EQ(a.GetCounter("obs_test.stable"),
             b.GetCounter("obs_test.stable"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreNotLost) {
+  // The planner's candidate sweep updates metrics from worker threads
+  // (see core::Planner::Plan); hammer one registry from several threads
+  // and check that no increment or observation is lost.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        reg.GetCounter("hammer.count")->Increment();
+        reg.GetGauge("hammer.gauge")->Set(static_cast<double>(t));
+        reg.GetHistogram("hammer.hist")->Observe(1e-3 * (i % 10 + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(reg.GetCounter("hammer.count")->Value(),
+                   kThreads * kOpsPerThread);
+  EXPECT_EQ(reg.GetHistogram("hammer.hist")->Count(),
+            kThreads * kOpsPerThread);
+  const double gauge = reg.GetGauge("hammer.gauge")->Value();
+  EXPECT_GE(gauge, 0.0);
+  EXPECT_LT(gauge, kThreads);
+  EXPECT_TRUE(IsValidJson(reg.ToJson()));
 }
 
 TEST(ScopedTimerTest, RecordsOneObservation) {

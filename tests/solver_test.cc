@@ -7,6 +7,8 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +16,7 @@
 #include "solver/ilp.h"
 #include "solver/lp.h"
 #include "solver/minmax.h"
+#include "solver/solve_cache.h"
 
 namespace malleus {
 namespace solver {
@@ -386,6 +389,128 @@ TEST(DivisionPropertyTest, ObjectiveMatchesReportedAssignment) {
     }
     EXPECT_NEAR(sol->objective, max_load, 1e-9) << "trial " << trial;
   }
+}
+
+// ---------- Branch-and-bound node accounting ----------
+
+// A knapsack that forces branching: LP relaxation is fractional, so the
+// search must expand children before finding the integral optimum.
+IntegerProgram BranchyKnapsack() {
+  // max 5a + 4b + 3c  s.t. 2a + 3b + c <= 5, vars in {0,1}.
+  IntegerProgram ip = IntegerProgram::Create(3);
+  ip.lp.objective = {-5.0, -4.0, -3.0};
+  ip.lp.AddLessEqual({2.0, 3.0, 1.0}, 5.0);
+  ip.lp.upper_bounds = {1.0, 1.0, 1.0};
+  return ip;
+}
+
+TEST(IlpTest, NodeLimitReturnsResourceExhausted) {
+  IlpOptions opts;
+  opts.max_nodes = 1;
+  Result<IlpSolution> sol = SolveIlp(BranchyKnapsack(), opts);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsResourceExhausted()) << sol.status();
+}
+
+TEST(IlpTest, NodeCountIsExactAndDeterministic) {
+  Result<IlpSolution> first = SolveIlp(BranchyKnapsack());
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_NEAR(first->objective, -9.0, 1e-8);  // a=b=1, c=0.
+  EXPECT_GT(first->nodes_explored, 1);  // Relaxation alone is fractional.
+
+  // Re-solving explores the identical tree (best-first order is total:
+  // bound, then node creation id), so the node count is reproducible.
+  Result<IlpSolution> second = SolveIlp(BranchyKnapsack());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->nodes_explored, second->nodes_explored);
+
+  // A budget exactly at the observed count succeeds; one less fails —
+  // i.e. nodes are counted exactly, not approximately.
+  IlpOptions at;
+  at.max_nodes = first->nodes_explored;
+  EXPECT_TRUE(SolveIlp(BranchyKnapsack(), at).ok());
+  IlpOptions under;
+  under.max_nodes = first->nodes_explored - 1;
+  Result<IlpSolution> capped = SolveIlp(BranchyKnapsack(), under);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_TRUE(capped.status().IsResourceExhausted());
+}
+
+// ---------- CacheKey / SolveCache ----------
+
+TEST(CacheKeyTest, EqualInputsEncodeEqually) {
+  CacheKey a, b;
+  a.Tag('O').Doubles({1.0, 2.0}).Ints({4, 8}).Int(3).Bool(true);
+  b.Tag('O').Doubles({1.0, 2.0}).Ints({4, 8}).Int(3).Bool(true);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CacheKeyTest, VectorBoundariesDoNotCollide) {
+  // ([1,2],[3]) vs ([1],[2,3]): same flattened values, different shape.
+  CacheKey a, b;
+  a.Doubles({1.0, 2.0}).Doubles({3.0});
+  b.Doubles({1.0}).Doubles({2.0, 3.0});
+  EXPECT_NE(a.str(), b.str());
+}
+
+TEST(CacheKeyTest, FieldTypesDoNotCollide) {
+  CacheKey as_int, as_bool, as_double;
+  as_int.Int(1);
+  as_bool.Bool(true);
+  as_double.Double(1.0);
+  EXPECT_NE(as_int.str(), as_bool.str());
+  EXPECT_NE(as_int.str(), as_double.str());
+  EXPECT_NE(as_bool.str(), as_double.str());
+
+  CacheKey tag_a, tag_b;
+  tag_a.Tag('O').Int(7);
+  tag_b.Tag('L').Int(7);
+  EXPECT_NE(tag_a.str(), tag_b.str());
+}
+
+TEST(CacheKeyTest, DoubleKeysUseBitPatterns) {
+  CacheKey pos, neg;
+  pos.Double(0.0);
+  neg.Double(-0.0);
+  EXPECT_NE(pos.str(), neg.str());  // Conservative: distinct representations.
+}
+
+TEST(SolveCacheTest, TypedRoundTripAndStats) {
+  SolveCache cache;
+  const std::string key = CacheKey().Tag('T').Int(42).str();
+  EXPECT_EQ(cache.LookupAs<int>(key), nullptr);
+  cache.InsertAs<int>(key, 7);
+  std::shared_ptr<const int> hit = cache.LookupAs<int>(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.LookupAs<int>(key), nullptr);
+}
+
+TEST(SolveCacheTest, FirstInsertWinsOnDuplicateKey) {
+  SolveCache cache;
+  const std::string key = CacheKey().Tag('T').Int(1).str();
+  cache.InsertAs<int>(key, 10);
+  cache.InsertAs<int>(key, 20);  // Racing duplicate: must not replace.
+  std::shared_ptr<const int> hit = cache.LookupAs<int>(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolveCacheTest, CapacityBoundDropsCache) {
+  SolveCache cache(/*max_entries=*/2);
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(1).str(), 1);
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(2).str(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(3).str(), 3);
+  // The overflowing insert dropped the old entries and kept the new one.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.LookupAs<int>(CacheKey().Tag('T').Int(3).str()), nullptr);
 }
 
 }  // namespace

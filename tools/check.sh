@@ -1,21 +1,68 @@
 #!/usr/bin/env bash
-# Builds the tree and runs the full test suite under ASan + UBSan, proving
-# the process-global metrics registry (and everything else) race/UB-clean.
-# The suite runs twice: once per network cost model (MALLEUS_NET_MODEL=
+# Builds the tree and runs the test suite under sanitizers.
+#
+# Default preset — ASan + UBSan over the full suite, proving the
+# process-global metrics registry (and everything else) UB/leak-clean. The
+# suite runs twice: once per network cost model (MALLEUS_NET_MODEL=
 # analytic / flow), so both the closed-form and the contention-aware
 # flow-level fabric paths stay green.
 #
-#   tools/check.sh             # sanitized configure + build + 2x ctest
+# TSan preset (--tsan) — ThreadSanitizer over the concurrency surface: the
+# exec thread pool, the metrics registry and the parallel planner sweep,
+# all forced to >= 4 worker threads via MALLEUS_PLANNER_THREADS; the
+# planner determinism tests run under both net models.
+#
+#   tools/check.sh             # ASan/UBSan configure + build + 2x ctest
 #   tools/check.sh --fast      # reuse an existing build-asan configure
+#   tools/check.sh --tsan      # TSan build + concurrency-focused tests
+#   tools/check.sh --tsan --fast
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=build-asan
 
-if [[ "${1:-}" != "--fast" || ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+MODE=asan
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) MODE=tsan ;;
+    --fast) FAST=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$MODE" == "tsan" ]]; then
+  BUILD_DIR=build-tsan
+  SANITIZE=thread
+else
+  BUILD_DIR=build-asan
+  SANITIZE=address,undefined
+fi
+
+if [[ "$FAST" != 1 || ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DMALLEUS_SANITIZE=address,undefined
+    -DMALLEUS_SANITIZE="$SANITIZE"
+fi
+
+if [[ "$MODE" == "tsan" ]]; then
+  # Only the binaries exercising threads: the pool itself, the metrics
+  # registry hammer, and the planner (serial + parallel-sweep suites).
+  TSAN_TARGETS=(exec_test obs_test planner_parallel_test planner_test)
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TSAN_TARGETS[@]}"
+
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  # Force real concurrency even where tests leave the thread count at the
+  # default, so TSan sees the racy interleavings.
+  export MALLEUS_PLANNER_THREADS=4
+  for net_model in analytic flow; do
+    echo "== TSan tests (MALLEUS_NET_MODEL=$net_model, 4 planner threads) =="
+    for t in "${TSAN_TARGETS[@]}"; do
+      MALLEUS_NET_MODEL="$net_model" "$BUILD_DIR/tests/$t"
+    done
+  done
+  echo "OK: thread pool + metrics + planner sweep clean under TSan" \
+       "(analytic + flow net models, MALLEUS_PLANNER_THREADS=4)"
+  exit 0
 fi
 
 cmake --build "$BUILD_DIR" -j"$(nproc)"
