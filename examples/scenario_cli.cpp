@@ -5,6 +5,13 @@
 //         --trace=normal,s1,s4,normal --baselines
 //
 // Flags:
+//   --scenario=FILE             load model/cluster/trace/stragglers from a
+//                               scenario file (see src/scenario/scenario.h);
+//                               later flags override individual fields
+//   --lint[=text|json|sarif]    lint the --scenario file (malleus::lint's
+//                               full pass stack, including the planner's
+//                               plan and the flow-conservation audit) and
+//                               exit: 0 clean, 1 error-level findings
 //   --model=32b|70b|110b|tiny   model to train          (default 32b)
 //   --nodes=N                   8-GPU nodes             (default 4)
 //   --batch=B                   global batch size       (default 64)
@@ -43,9 +50,12 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/run_log.h"
+#include "core/scenario_lint.h"
+#include "lint/lint.h"
 #include "net/fabric.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scenario/scenario.h"
 
 using namespace malleus;
 
@@ -65,6 +75,9 @@ struct Args {
   std::string metrics_out;
   std::string events_out;
   std::string csv_out;
+  std::string scenario_file;
+  bool lint = false;
+  std::string lint_format = "text";
 };
 
 // Writes `content` to `path`; complains to stderr on failure.
@@ -86,7 +99,39 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       const size_t n = std::strlen(prefix);
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
-    if (const char* v = value("--model=")) {
+    if (const char* v = value("--scenario=")) {
+      out->scenario_file = v;
+      // Apply the file immediately so later flags override its fields.
+      Result<scenario::ScenarioSpec> spec = scenario::LoadScenarioFile(v);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return false;
+      }
+      out->model = spec->model;
+      out->nodes = spec->nodes;
+      out->batch = spec->batch;
+      out->steps = spec->steps;
+      out->seed = spec->seed;
+      out->trace = spec->phases;
+      if (!spec->net_model.empty()) {
+        Result<net::NetModel> nm = net::ParseNetModel(spec->net_model);
+        if (!nm.ok()) {
+          std::fprintf(stderr, "%s\n", nm.status().ToString().c_str());
+          return false;
+        }
+        out->net_model = *nm;
+      }
+    } else if (arg == "--lint") {
+      out->lint = true;
+    } else if (const char* v = value("--lint=")) {
+      out->lint = true;
+      out->lint_format = v;
+      if (out->lint_format != "text" && out->lint_format != "json" &&
+          out->lint_format != "sarif") {
+        std::fprintf(stderr, "unknown lint format: %s\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--model=")) {
       out->model = v;
     } else if (const char* v = value("--nodes=")) {
       out->nodes = std::atoi(v);
@@ -166,7 +211,8 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s [--model=32b|70b|110b|tiny] [--nodes=N] "
+                 "usage: %s [--scenario=FILE] [--lint[=text|json|sarif]] "
+                 "[--model=32b|70b|110b|tiny] [--nodes=N] "
                  "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
                  "[--seed=S] [--net-model=analytic|flow] "
                  "[--planner-threads=N] [--baselines] "
@@ -175,6 +221,29 @@ int main(int argc, char** argv) {
                  "[--csv-out=FILE]\n",
                  argv[0]);
     return 2;
+  }
+
+  if (args.lint) {
+    if (args.scenario_file.empty()) {
+      std::fprintf(stderr, "--lint requires --scenario=FILE\n");
+      return 2;
+    }
+    lint::DiagnosticSink sink;
+    const Status status = core::LintScenarioFile(
+        args.scenario_file, core::ScenarioLintOptions(), &sink);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (args.lint_format == "json") {
+      std::printf("%s\n", lint::RenderJson(sink).c_str());
+    } else if (args.lint_format == "sarif") {
+      std::printf("%s\n",
+                  lint::RenderSarif(sink, args.scenario_file).c_str());
+    } else {
+      std::printf("%s", lint::RenderText(sink).c_str());
+    }
+    return sink.HasErrors() ? 1 : 0;
   }
 
   Result<model::ModelSpec> spec = SpecFor(args.model);
@@ -242,14 +311,18 @@ int main(int argc, char** argv) {
   }
   table.SetHeader(std::move(header));
 
+  int rc = 0;
   for (auto& fw : frameworks) {
     baselines::TraceRunOptions run_opts;
     if (fw->name() == "Malleus") run_opts.run_log = &run_log;
     Result<std::vector<baselines::PhaseStats>> stats =
         baselines::RunTrace(fw.get(), cluster, trace, args.batch, run_opts);
     if (!stats.ok()) {
+      // A framework that cannot plan or validate its plan is a failed run,
+      // not a cosmetic gap in the table: exit non-zero after reporting.
       std::fprintf(stderr, "%s failed: %s\n", fw->name().c_str(),
                    stats.status().ToString().c_str());
+      rc = 1;
       continue;
     }
     std::vector<std::string> row = {fw->name()};
@@ -266,7 +339,6 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
-  int rc = 0;
   if (!args.trace_out.empty()) {
     if (WriteFileOrWarn(args.trace_out, trace_recorder.ToChromeTraceJson())) {
       std::printf("\nwrote step trace (%zu events) to %s\n",

@@ -66,7 +66,11 @@ std::string TablePrinter::ToString() const {
     std::string s = "|";
     for (size_t c = 0; c < ncols; ++c) {
       const std::string cell = c < cells.size() ? cells[c] : "";
-      s += " " + Pad(cell, widths[c], LooksNumeric(cell)) + " |";
+      // Built up in pieces: GCC 12's -Wrestrict misfires on the
+      // temporary chain `" " + Pad(...) + " |"`.
+      s += ' ';
+      s += Pad(cell, widths[c], LooksNumeric(cell));
+      s += " |";
     }
     s += "\n";
     return s;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "core/checkpoint.h"
+#include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -12,6 +14,31 @@ namespace malleus {
 namespace core {
 
 namespace {
+
+// The engine refuses plans carrying error-level diagnostics and logs the
+// rest: warnings are real findings (wasted capacity, razor-edge memory)
+// but the plan is executable, so they must not stop training.
+Status GatePlanDiagnostics(const lint::DiagnosticSink& sink,
+                           const char* origin) {
+  const lint::Diagnostic* first_error = nullptr;
+  for (const lint::Diagnostic& d : sink.diagnostics()) {
+    if (d.severity == lint::Severity::kError) {
+      MALLEUS_LOG(Error) << origin << ": " << d.ToString();
+      if (first_error == nullptr) first_error = &d;
+    } else {
+      MALLEUS_LOG(Warning) << origin << ": " << d.ToString();
+    }
+  }
+  if (first_error != nullptr) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("engine.plans_refused")
+        ->Increment();
+    return Status::InvalidArgument(
+        StrFormat("%s: plan refused, %d lint error(s), first: %s", origin,
+                  sink.num_errors(), first_error->ToString().c_str()));
+  }
+  return Status::OK();
+}
 
 // Transition spans/instants go on a dedicated engine track so re-planning
 // and migration overheads are visible next to the per-stage timelines.
@@ -40,6 +67,8 @@ Status MalleusEngine::Initialize(int64_t global_batch) {
   Result<PlanResult> initial =
       planner_.Plan(healthy, global_batch, options_.planner);
   MALLEUS_RETURN_NOT_OK(initial.status());
+  MALLEUS_RETURN_NOT_OK(
+      GatePlanDiagnostics(initial->diagnostics, "initial plan"));
   MALLEUS_RETURN_NOT_OK(executor_.Install(std::move(initial->plan)));
   pinned_dp_ = executor_.current_plan().dp_degree();
   profiler_->AcknowledgeShift();
@@ -49,6 +78,15 @@ Status MalleusEngine::Initialize(int64_t global_batch) {
 
 Status MalleusEngine::InitializeWithPlan(plan::ParallelPlan p) {
   global_batch_ = p.global_batch;
+  // User-provided plans get the full treatment: structural checks (no
+  // situation yet, so quality passes are skipped) plus the event-graph
+  // audit. Error-level findings refuse the plan before Install.
+  lint::DiagnosticSink diagnostics;
+  lint::LintPlan(p, cluster_, cost_, /*situation=*/nullptr, &diagnostics);
+  lint::LintEventGraph(p, &diagnostics);
+  lint::RecordDiagnosticMetrics(diagnostics);
+  MALLEUS_RETURN_NOT_OK(
+      GatePlanDiagnostics(diagnostics, "user-provided plan"));
   MALLEUS_RETURN_NOT_OK(executor_.Install(std::move(p)));
   pinned_dp_ = executor_.current_plan().dp_degree();
   profiler_->AcknowledgeShift();
@@ -81,6 +119,12 @@ Result<PlanResult> MalleusEngine::Replan() {
     opts.dp_degree = 0;
     planned = planner_.Plan(profiler_->Estimated(), global_batch_, opts);
     if (planned.ok()) pinned_dp_ = planned->plan.dp_degree();
+  }
+  if (planned.ok()) {
+    // A refused plan surfaces as a planning failure: the caller keeps
+    // training on the current plan (Step) or aborts recovery.
+    MALLEUS_RETURN_NOT_OK(
+        GatePlanDiagnostics(planned->diagnostics, "re-plan"));
   }
   return planned;
 }

@@ -103,7 +103,7 @@ std::pair<std::vector<int>, double> BestArrangement(
     auto it = cache->find(sizes);
     if (it != cache->end()) return it->second;
   }
-  ArrangementSearch s{cost, rates};
+  ArrangementSearch s{cost, rates, {}, {}, {}, 1.0, {}, {}, -1.0};
   for (int size : sizes) {
     if (s.distinct.empty() || s.distinct.back() != size) {
       s.distinct.push_back(size);

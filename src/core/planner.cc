@@ -319,6 +319,14 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
   registry.GetGauge("planner.last_estimate_seconds")
       ->Set(best.estimated_full_seconds);
   best.timings = timings;
+
+  // Lint the winner: structural + quality passes under the planning
+  // situation, plus a topological audit of its 1F1B schedules. Findings
+  // ride along in the result; the engine decides what to do with them.
+  lint::LintPlan(best.plan, cluster_, cost_, &situation, &best.diagnostics);
+  lint::LintEventGraph(best.plan, &best.diagnostics);
+  lint::RecordDiagnosticMetrics(best.diagnostics);
+
   return best;
 }
 

@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "core/grouping.h"
 #include "core/orchestration.h"
+#include "lint/lint.h"
 #include "model/cost_model.h"
 #include "plan/plan.h"
 #include "solver/solve_cache.h"
@@ -78,6 +79,11 @@ struct PlanResult {
   double estimated_full_seconds = 0.0;
   int chosen_tp = 0;
   PlannerTimings timings;
+  /// Lint findings for the chosen plan under the planning situation (the
+  /// warn-level quality passes plus an event-graph audit; the structural
+  /// checks hold by construction — every candidate is Validate()d). The
+  /// engine logs these and refuses error-level plans.
+  lint::DiagnosticSink diagnostics;
 };
 
 /// \brief Deduces the best parallelization plan for the situation.

@@ -1,0 +1,36 @@
+// End-to-end lint of one scenario file: parse, semantic scenario checks,
+// cluster/situation checks, then (optionally) a planner run whose chosen
+// plan is linted (structure + quality + 1F1B event-graph audit) and whose
+// grad-sync rings are played through the flow simulator and audited for
+// conservation. Shared by tools/malleus_lint and scenario_cli --lint.
+
+#ifndef MALLEUS_CORE_SCENARIO_LINT_H_
+#define MALLEUS_CORE_SCENARIO_LINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lint/diagnostic.h"
+
+namespace malleus {
+namespace core {
+
+struct ScenarioLintOptions {
+  /// Run the planner and the plan/flow-level passes. Off keeps the lint
+  /// purely static (parse + scenario + cluster + situation).
+  bool with_plan = true;
+};
+
+/// Lints `path`, appending findings to `sink`. The returned Status is
+/// about *analyzability*, not findings: it is non-OK when the file cannot
+/// be parsed, resolved, or planned at all (callers should treat that as a
+/// failed lint); semantic problems land in `sink` and leave the Status OK.
+/// Stops before resolution/planning once `sink` holds error diagnostics.
+Status LintScenarioFile(const std::string& path,
+                        const ScenarioLintOptions& options,
+                        lint::DiagnosticSink* sink);
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_SCENARIO_LINT_H_

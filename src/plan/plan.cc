@@ -1,10 +1,10 @@
 #include "plan/plan.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "plan/plan_checks.h"
 
 namespace malleus {
 namespace plan {
@@ -55,7 +55,16 @@ std::vector<topo::GpuId> ParallelPlan::ActiveGpus() const {
 
 double StageMemoryBytesPerGpu(const ParallelPlan& p, int pipeline_index,
                               int stage_index, const model::CostModel& cost) {
+  MALLEUS_CHECK(pipeline_index >= 0 &&
+                pipeline_index < static_cast<int>(p.pipelines.size()))
+      << "StageMemoryBytesPerGpu: pipeline index " << pipeline_index
+      << " out of range [0, " << p.pipelines.size() << ")";
   const Pipeline& pipe = p.pipelines[pipeline_index];
+  MALLEUS_CHECK(stage_index >= 0 &&
+                stage_index < static_cast<int>(pipe.stages.size()))
+      << "StageMemoryBytesPerGpu: stage index " << stage_index
+      << " out of range [0, " << pipe.stages.size() << ") in pipeline "
+      << pipeline_index;
   const Stage& stage = pipe.stages[stage_index];
   const int pp = pipe.num_stages();
   const int dp = p.dp_degree();
@@ -68,81 +77,14 @@ double StageMemoryBytesPerGpu(const ParallelPlan& p, int pipeline_index,
 
 Status ParallelPlan::Validate(const topo::ClusterSpec& cluster,
                               const model::CostModel& cost) const {
-  if (pipelines.empty()) {
-    return Status::InvalidArgument("plan has no pipelines");
-  }
-  if (micro_batch_size <= 0) {
-    return Status::InvalidArgument("micro-batch size must be positive");
-  }
-  const int L = cost.spec().num_layers;
-  int64_t data = 0;
-  std::set<topo::GpuId> seen(standby_gpus.begin(), standby_gpus.end());
-  const size_t standby_unique = seen.size();
-  if (standby_unique != standby_gpus.size()) {
-    return Status::InvalidArgument("duplicate standby GPU");
-  }
-
-  for (size_t i = 0; i < pipelines.size(); ++i) {
-    const Pipeline& pipe = pipelines[i];
-    if (pipe.stages.empty()) {
-      return Status::InvalidArgument(
-          StrFormat("pipeline %zu has no stages", i));
-    }
-    if (pipe.num_microbatches <= 0) {
-      return Status::InvalidArgument(
-          StrFormat("pipeline %zu has no micro-batches", i));
-    }
-    if (pipe.TotalLayers() != L) {
-      return Status::InvalidArgument(
-          StrFormat("pipeline %zu covers %d layers, model has %d", i,
-                    pipe.TotalLayers(), L));
-    }
-    data += pipe.num_microbatches * micro_batch_size;
-
-    for (size_t j = 0; j < pipe.stages.size(); ++j) {
-      const Stage& stage = pipe.stages[j];
-      if (stage.group.gpus.empty()) {
-        return Status::InvalidArgument(
-            StrFormat("pipeline %zu stage %zu has no GPUs", i, j));
-      }
-      if (!model::IsValidTpDegree(stage.group.size())) {
-        return Status::InvalidArgument(
-            StrFormat("pipeline %zu stage %zu has TP degree %d", i, j,
-                      stage.group.size()));
-      }
-      if (stage.num_layers < 0) {
-        return Status::InvalidArgument("negative layer count");
-      }
-      const topo::NodeId node = cluster.NodeOf(stage.group.gpus[0]);
-      for (topo::GpuId g : stage.group.gpus) {
-        if (!cluster.ValidGpu(g)) {
-          return Status::InvalidArgument(StrFormat("invalid GPU id %d", g));
-        }
-        if (cluster.NodeOf(g) != node) {
-          return Status::InvalidArgument(
-              StrFormat("TP group spans nodes (GPU %d)", g));
-        }
-        if (!seen.insert(g).second) {
-          return Status::InvalidArgument(
-              StrFormat("GPU %d used more than once", g));
-        }
-      }
-      const double used = StageMemoryBytesPerGpu(
-          *this, static_cast<int>(i), static_cast<int>(j), cost);
-      const double cap = static_cast<double>(cost.gpu().UsableBytes());
-      if (used > cap * (1.0 + 1e-9)) {
-        return Status::ResourceExhausted(StrFormat(
-            "pipeline %zu stage %zu needs %s/GPU, capacity %s", i, j,
-            FormatBytes(static_cast<uint64_t>(used)).c_str(),
-            FormatBytes(static_cast<uint64_t>(cap)).c_str()));
-      }
-    }
-  }
-  if (data != global_batch) {
-    return Status::InvalidArgument(
-        StrFormat("plan covers %lld samples, global batch is %lld",
-                  static_cast<long long>(data),
-                  static_cast<long long>(global_batch)));
+  // Thin wrapper over the lint pass: run the structural checks in
+  // fail-fast mode and convert the first finding back to the Status this
+  // method has always returned (same traversal order, same message).
+  lint::DiagnosticSink sink;
+  sink.set_fail_fast(true);
+  LintPlanStructure(*this, cluster, cost, &sink);
+  if (sink.HasErrors()) {
+    return StatusFromPlanDiagnostic(sink.diagnostics().front());
   }
   return Status::OK();
 }
@@ -182,6 +124,11 @@ std::string ParallelPlan::Signature() const {
       sig += ")";
     }
     sig += "]";
+  }
+  if (!standby_gpus.empty()) {
+    sig += "s(";
+    for (topo::GpuId g : standby_gpus) sig += StrFormat("%d,", g);
+    sig += ")";
   }
   return sig;
 }

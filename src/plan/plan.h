@@ -72,6 +72,10 @@ struct ParallelPlan {
   /// Checks the structural invariants: per-pipeline layers sum to L, data
   /// sums to B, groups are intra-node with power-of-two sizes, no GPU is
   /// used twice, and every stage fits in memory (Appendix B.4 constraints).
+  /// Thin wrapper over plan::LintPlanStructure (plan_checks.h) in
+  /// fail-fast mode; returns the first violation as a Status. Callers that
+  /// want every violation at once (or the warn-level quality passes) use
+  /// malleus::lint directly.
   Status Validate(const topo::ClusterSpec& cluster,
                   const model::CostModel& cost) const;
 
@@ -83,7 +87,9 @@ struct ParallelPlan {
 };
 
 /// Per-stage memory usage (bytes, per GPU) implied by the plan; used by
-/// validation and by tests.
+/// validation and by tests. Aborts with a descriptive message when
+/// `pipeline_index` or `stage_index` is out of range (a programming error;
+/// callers iterating a plan they did not build should bounds-check first).
 double StageMemoryBytesPerGpu(const ParallelPlan& p, int pipeline_index,
                               int stage_index, const model::CostModel& cost);
 

@@ -1,0 +1,164 @@
+#include "plan/plan_checks.h"
+
+#include <cstdint>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace plan {
+
+namespace {
+
+std::string PipelineLoc(size_t i) { return StrFormat("pipeline[%zu]", i); }
+
+std::string StageLoc(size_t i, size_t j) {
+  return StrFormat("pipeline[%zu].stage[%zu]", i, j);
+}
+
+}  // namespace
+
+void LintPlanStructure(const ParallelPlan& p, const topo::ClusterSpec& cluster,
+                       const model::CostModel& cost,
+                       lint::DiagnosticSink* sink) {
+  using lint::Severity;
+  if (p.pipelines.empty()) {
+    sink->Report(Severity::kError, kLintPlanNoPipelines, "",
+                 "plan has no pipelines");
+  }
+  if (sink->ShouldStop()) return;
+  if (p.micro_batch_size <= 0) {
+    sink->Report(Severity::kError, kLintPlanBadMicroBatch, "",
+                 "micro-batch size must be positive",
+                 {{"micro_batch_size", StrFormat("%d", p.micro_batch_size)}});
+  }
+  if (sink->ShouldStop()) return;
+
+  const int L = cost.spec().num_layers;
+  int64_t data = 0;
+  std::set<topo::GpuId> seen(p.standby_gpus.begin(), p.standby_gpus.end());
+  if (seen.size() != p.standby_gpus.size()) {
+    sink->Report(Severity::kError, kLintPlanDuplicateStandby, "standby",
+                 "duplicate standby GPU");
+  }
+  if (sink->ShouldStop()) return;
+
+  for (size_t i = 0; i < p.pipelines.size(); ++i) {
+    const Pipeline& pipe = p.pipelines[i];
+    if (pipe.stages.empty()) {
+      sink->Report(Severity::kError, kLintPlanEmptyPipeline, PipelineLoc(i),
+                   StrFormat("pipeline %zu has no stages", i));
+    }
+    if (sink->ShouldStop()) return;
+    if (pipe.num_microbatches <= 0) {
+      sink->Report(
+          Severity::kError, kLintPlanNoMicrobatches, PipelineLoc(i),
+          StrFormat("pipeline %zu has no micro-batches", i),
+          {{"num_microbatches",
+            StrFormat("%lld", static_cast<long long>(pipe.num_microbatches))}});
+    }
+    if (sink->ShouldStop()) return;
+    if (pipe.TotalLayers() != L) {
+      sink->Report(Severity::kError, kLintPlanLayerCoverage, PipelineLoc(i),
+                   StrFormat("pipeline %zu covers %d layers, model has %d", i,
+                             pipe.TotalLayers(), L),
+                   {{"covered", StrFormat("%d", pipe.TotalLayers())},
+                    {"model_layers", StrFormat("%d", L)}});
+    }
+    if (sink->ShouldStop()) return;
+    data += pipe.num_microbatches * p.micro_batch_size;
+
+    for (size_t j = 0; j < pipe.stages.size(); ++j) {
+      const Stage& stage = pipe.stages[j];
+      // In collect-all mode a stage that fails its basic shape checks
+      // skips the checks that presuppose the shape (node placement needs a
+      // first GPU; the memory model divides by the group size).
+      bool stage_shape_ok = true;
+      if (stage.group.gpus.empty()) {
+        sink->Report(Severity::kError, kLintPlanEmptyStage, StageLoc(i, j),
+                     StrFormat("pipeline %zu stage %zu has no GPUs", i, j));
+        stage_shape_ok = false;
+      }
+      if (sink->ShouldStop()) return;
+      if (!model::IsValidTpDegree(stage.group.size())) {
+        sink->Report(Severity::kError, kLintPlanBadTpDegree, StageLoc(i, j),
+                     StrFormat("pipeline %zu stage %zu has TP degree %d", i,
+                               j, stage.group.size()),
+                     {{"tp_degree", StrFormat("%d", stage.group.size())}});
+      }
+      if (sink->ShouldStop()) return;
+      if (stage.num_layers < 0) {
+        sink->Report(Severity::kError, kLintPlanNegativeLayers, StageLoc(i, j),
+                     "negative layer count",
+                     {{"num_layers", StrFormat("%d", stage.num_layers)}});
+      }
+      if (sink->ShouldStop()) return;
+      if (stage_shape_ok) {
+        // The node anchor is only meaningful when the first GPU id is in
+        // range; otherwise the span check is skipped in collect-all mode
+        // (fail-fast has already returned on the invalid-gpu error).
+        const bool anchor_valid = cluster.ValidGpu(stage.group.gpus[0]);
+        const topo::NodeId node =
+            anchor_valid ? cluster.NodeOf(stage.group.gpus[0]) : -1;
+        for (topo::GpuId g : stage.group.gpus) {
+          if (!cluster.ValidGpu(g)) {
+            sink->Report(Severity::kError, kLintPlanInvalidGpu, StageLoc(i, j),
+                         StrFormat("invalid GPU id %d", g),
+                         {{"gpu", StrFormat("%d", g)}});
+            stage_shape_ok = false;
+            if (sink->ShouldStop()) return;
+            continue;  // Node/reuse checks need an in-range id.
+          }
+          if (anchor_valid && cluster.NodeOf(g) != node) {
+            sink->Report(Severity::kError, kLintPlanTpSpansNodes,
+                         StageLoc(i, j),
+                         StrFormat("TP group spans nodes (GPU %d)", g),
+                         {{"gpu", StrFormat("%d", g)}});
+          }
+          if (sink->ShouldStop()) return;
+          if (!seen.insert(g).second) {
+            sink->Report(Severity::kError, kLintPlanGpuReused, StageLoc(i, j),
+                         StrFormat("GPU %d used more than once", g),
+                         {{"gpu", StrFormat("%d", g)}});
+          }
+          if (sink->ShouldStop()) return;
+        }
+      }
+      if (stage_shape_ok && p.micro_batch_size > 0) {
+        const double used = StageMemoryBytesPerGpu(
+            p, static_cast<int>(i), static_cast<int>(j), cost);
+        const double cap = static_cast<double>(cost.gpu().UsableBytes());
+        if (used > cap * (1.0 + 1e-9)) {
+          sink->Report(
+              Severity::kError, kLintPlanMemoryCapacity, StageLoc(i, j),
+              StrFormat("pipeline %zu stage %zu needs %s/GPU, capacity %s", i,
+                        j, FormatBytes(static_cast<uint64_t>(used)).c_str(),
+                        FormatBytes(static_cast<uint64_t>(cap)).c_str()),
+              {{"used_bytes", StrFormat("%.0f", used)},
+               {"capacity_bytes", StrFormat("%.0f", cap)}});
+        }
+        if (sink->ShouldStop()) return;
+      }
+    }
+  }
+  if (data != p.global_batch) {
+    sink->Report(
+        Severity::kError, kLintPlanBatchCoverage, "",
+        StrFormat("plan covers %lld samples, global batch is %lld",
+                  static_cast<long long>(data),
+                  static_cast<long long>(p.global_batch)),
+        {{"covered", StrFormat("%lld", static_cast<long long>(data))},
+         {"global_batch",
+          StrFormat("%lld", static_cast<long long>(p.global_batch))}});
+  }
+}
+
+Status StatusFromPlanDiagnostic(const lint::Diagnostic& d) {
+  if (d.code == kLintPlanMemoryCapacity) {
+    return Status::ResourceExhausted(d.message);
+  }
+  return Status::InvalidArgument(d.message);
+}
+
+}  // namespace plan
+}  // namespace malleus

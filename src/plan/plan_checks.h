@@ -1,0 +1,60 @@
+// Error-level structural checks over a ParallelPlan, emitted as
+// malleus::lint diagnostics. These are the invariants ParallelPlan::
+// Validate has always enforced (Appendix B.4 constraints plus structural
+// sanity); Validate is now a thin wrapper that runs them in fail-fast mode
+// and converts the first finding back to a Status, so its accept/reject
+// behaviour — including the exact message — is unchanged. Collect-all
+// callers (the planner, tools/malleus_lint) run the same pass with a
+// regular sink and get every violation at once.
+
+#ifndef MALLEUS_PLAN_PLAN_CHECKS_H_
+#define MALLEUS_PLAN_PLAN_CHECKS_H_
+
+#include "common/status.h"
+#include "lint/diagnostic.h"
+#include "model/cost_model.h"
+#include "plan/plan.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace plan {
+
+// Diagnostic codes of the structural (error-level) plan checks, in the
+// order Validate evaluates them. Kept as named constants so tests and the
+// pass registry cannot drift from the implementation.
+inline constexpr char kLintPlanNoPipelines[] = "plan.no-pipelines";
+inline constexpr char kLintPlanBadMicroBatch[] = "plan.bad-micro-batch";
+inline constexpr char kLintPlanDuplicateStandby[] = "plan.duplicate-standby";
+inline constexpr char kLintPlanEmptyPipeline[] = "plan.empty-pipeline";
+inline constexpr char kLintPlanNoMicrobatches[] = "plan.no-microbatches";
+inline constexpr char kLintPlanLayerCoverage[] = "plan.layer-coverage";
+inline constexpr char kLintPlanEmptyStage[] = "plan.empty-stage";
+inline constexpr char kLintPlanBadTpDegree[] = "plan.bad-tp-degree";
+inline constexpr char kLintPlanNegativeLayers[] = "plan.negative-layers";
+inline constexpr char kLintPlanInvalidGpu[] = "plan.invalid-gpu";
+inline constexpr char kLintPlanTpSpansNodes[] = "plan.tp-spans-nodes";
+inline constexpr char kLintPlanGpuReused[] = "plan.gpu-reused";
+inline constexpr char kLintPlanMemoryCapacity[] = "plan.memory-capacity";
+inline constexpr char kLintPlanBatchCoverage[] = "plan.batch-coverage";
+
+/// Runs every structural check over `p`, reporting one error-level
+/// diagnostic per violation. Honors `sink->fail_fast()`: with it set the
+/// traversal stops at the first error, reproducing Validate's historical
+/// first-error-wins semantics exactly (same traversal order, same message
+/// text). Without it, checks that would make later checks meaningless
+/// (e.g. the memory model on an empty TP group) are skipped per-stage, so
+/// a single malformed plan yields a complete, finite report.
+void LintPlanStructure(const ParallelPlan& p, const topo::ClusterSpec& cluster,
+                       const model::CostModel& cost,
+                       lint::DiagnosticSink* sink);
+
+/// Maps a structural plan diagnostic back to the Status that Validate
+/// historically returned for it: kResourceExhausted for
+/// plan.memory-capacity, kInvalidArgument for everything else, with the
+/// diagnostic's message verbatim.
+Status StatusFromPlanDiagnostic(const lint::Diagnostic& d);
+
+}  // namespace plan
+}  // namespace malleus
+
+#endif  // MALLEUS_PLAN_PLAN_CHECKS_H_

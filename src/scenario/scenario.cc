@@ -1,0 +1,219 @@
+#include "scenario/scenario.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace malleus {
+namespace scenario {
+
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+Status LineError(int line, const std::string& what) {
+  return Status::InvalidArgument(StrFormat("line %d: %s", line, what.c_str()));
+}
+
+// Parses a whole-string integer; false on trailing garbage or empty input.
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// "GPU:LEVEL" or "GPU:xRATE".
+Status ParseStraggler(const std::string& value, int line,
+                      StragglerEntry* out) {
+  const size_t colon = value.find(':');
+  if (colon == std::string::npos) {
+    return LineError(line, "straggler must be GPU:LEVEL or GPU:xRATE");
+  }
+  int64_t gpu = 0;
+  if (!ParseInt64(Trim(value.substr(0, colon)), &gpu)) {
+    return LineError(line, "straggler GPU id is not an integer");
+  }
+  out->gpu = static_cast<topo::GpuId>(gpu);
+  out->line = line;
+  const std::string rest = Trim(value.substr(colon + 1));
+  if (!rest.empty() && rest[0] == 'x') {
+    double rate = 0.0;
+    if (!ParseDouble(rest.substr(1), &rate)) {
+      return LineError(line, "straggler rate is not a number");
+    }
+    out->rate = rate;
+    out->is_rate = true;
+    return Status::OK();
+  }
+  int64_t level = 0;
+  if (!ParseInt64(rest, &level)) {
+    return LineError(line, "straggler level is not an integer");
+  }
+  out->level = static_cast<int>(level);
+  out->is_rate = false;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ScenarioSpec> ParseScenarioString(const std::string& text) {
+  ScenarioSpec spec;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_no, "expected key = value");
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (value.empty()) return LineError(line_no, "empty value for " + key);
+
+    int64_t n = 0;
+    if (key == "model") {
+      spec.model = value;
+    } else if (key == "nodes") {
+      if (!ParseInt64(value, &n)) return LineError(line_no, "bad nodes");
+      spec.nodes = static_cast<int>(n);
+    } else if (key == "gpus_per_node") {
+      if (!ParseInt64(value, &n)) {
+        return LineError(line_no, "bad gpus_per_node");
+      }
+      spec.gpus_per_node = static_cast<int>(n);
+    } else if (key == "batch") {
+      if (!ParseInt64(value, &n)) return LineError(line_no, "bad batch");
+      spec.batch = n;
+    } else if (key == "steps") {
+      if (!ParseInt64(value, &n)) return LineError(line_no, "bad steps");
+      spec.steps = static_cast<int>(n);
+    } else if (key == "seed") {
+      if (!ParseInt64(value, &n)) return LineError(line_no, "bad seed");
+      spec.seed = static_cast<uint64_t>(n);
+    } else if (key == "net_model") {
+      spec.net_model = value;
+    } else if (key == "phase") {
+      spec.phases.push_back(value);
+    } else if (key == "straggler") {
+      StragglerEntry entry;
+      MALLEUS_RETURN_NOT_OK(ParseStraggler(value, line_no, &entry));
+      spec.stragglers.push_back(entry);
+    } else {
+      return LineError(line_no, "unknown key: " + key);
+    }
+  }
+  return spec;
+}
+
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open scenario file: " + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  Result<ScenarioSpec> spec = ParseScenarioString(text);
+  if (!spec.ok()) {
+    return Status(spec.status().code(),
+                  path + ": " + spec.status().message());
+  }
+  spec->source = path;
+  return spec;
+}
+
+Result<model::ModelSpec> ModelSpecByName(const std::string& name) {
+  if (name == "32b") return model::ModelSpec::Llama32B();
+  if (name == "70b") return model::ModelSpec::Llama70B();
+  if (name == "110b") return model::ModelSpec::Llama110B();
+  if (name == "tiny") return model::ModelSpec::Tiny();
+  return Status::InvalidArgument("unknown model: " + name);
+}
+
+Result<straggler::SituationId> SituationIdByName(const std::string& name) {
+  using straggler::SituationId;
+  if (name == "normal") return SituationId::kNormal;
+  if (name == "s1") return SituationId::kS1;
+  if (name == "s2") return SituationId::kS2;
+  if (name == "s3") return SituationId::kS3;
+  if (name == "s4") return SituationId::kS4;
+  if (name == "s5") return SituationId::kS5;
+  if (name == "s6") return SituationId::kS6;
+  return Status::InvalidArgument("unknown trace phase: " + name);
+}
+
+Result<ResolvedScenario> ResolveScenario(const ScenarioSpec& spec) {
+  ResolvedScenario out;
+  MALLEUS_ASSIGN_OR_RETURN(out.spec, ModelSpecByName(spec.model));
+  if (spec.nodes < 1 || spec.gpus_per_node < 1) {
+    return Status::InvalidArgument("cluster shape must be positive");
+  }
+  if (spec.batch < 1 || spec.steps < 1) {
+    return Status::InvalidArgument("batch and steps must be >= 1");
+  }
+  out.cluster = topo::ClusterSpec(spec.nodes, spec.gpus_per_node);
+  out.net_model = net::DefaultNetModel();
+  if (!spec.net_model.empty()) {
+    MALLEUS_ASSIGN_OR_RETURN(out.net_model,
+                             net::ParseNetModel(spec.net_model));
+  }
+  for (const std::string& phase : spec.phases) {
+    MALLEUS_ASSIGN_OR_RETURN(straggler::SituationId id,
+                             SituationIdByName(phase));
+    out.trace.push_back({id, spec.steps});
+  }
+  out.overlay = straggler::Situation(out.cluster.num_gpus());
+  for (const StragglerEntry& s : spec.stragglers) {
+    if (!out.cluster.ValidGpu(s.gpu)) {
+      return Status::InvalidArgument(
+          StrFormat("straggler GPU %d outside the cluster", s.gpu));
+    }
+    if (s.is_rate) {
+      out.overlay.SetRate(s.gpu, s.rate);
+    } else {
+      out.overlay.SetLevel(s.gpu, s.level);
+    }
+    out.has_overlay = true;
+  }
+  return out;
+}
+
+}  // namespace scenario
+}  // namespace malleus

@@ -1,0 +1,100 @@
+// Scenario files: a small key=value format describing one training
+// scenario (model, cluster shape, batch, straggler trace, optional custom
+// straggler overlay), shared by tools/malleus_lint and examples/
+// scenario_cli so a scenario can be linted and executed from the same
+// artifact.
+//
+//   # 32B run over 4 nodes with the S3 situation.
+//   model = 32b
+//   nodes = 4
+//   batch = 64
+//   steps = 6
+//   phase = normal
+//   phase = s3
+//   straggler = 9:2        # GPU 9 runs at straggler level 2
+//   straggler = 17:x2.5    # GPU 17 at an explicit rate of 2.5
+//
+// Parsing is purely syntactic: unknown keys, malformed lines and
+// unparsable numbers fail with a Status naming the line. Semantic
+// validity (model names, phase names, GPU ranges, rate ranges) is the
+// job of the lint passes (lint::LintScenario), so a tool can report
+// every problem in one pass instead of dying on the first.
+
+#ifndef MALLEUS_SCENARIO_SCENARIO_H_
+#define MALLEUS_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/model_spec.h"
+#include "net/fabric.h"
+#include "straggler/situation.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace scenario {
+
+/// One custom straggler entry ("straggler = GPU:LEVEL" or "GPU:xRATE").
+struct StragglerEntry {
+  topo::GpuId gpu = 0;
+  /// Exactly one of the two is meaningful, selected by `is_rate`.
+  int level = 0;
+  double rate = 1.0;
+  bool is_rate = false;
+  int line = 0;  ///< 1-based source line, for diagnostics.
+};
+
+/// A parsed scenario file. Defaults match scenario_cli's flag defaults.
+struct ScenarioSpec {
+  std::string model = "32b";
+  int nodes = 4;
+  int gpus_per_node = 8;
+  int64_t batch = 64;
+  int steps = 6;
+  uint64_t seed = 42;
+  /// "analytic" / "flow"; empty picks net::DefaultNetModel().
+  std::string net_model;
+  /// Canonical situation names ("normal", "s1".."s6"), in trace order.
+  std::vector<std::string> phases;
+  std::vector<StragglerEntry> stragglers;
+  /// The file this spec came from ("" when parsed from a string).
+  std::string source;
+};
+
+/// Parses the scenario text. Syntax errors name the 1-based line.
+Result<ScenarioSpec> ParseScenarioString(const std::string& text);
+
+/// Reads and parses `path`.
+Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
+
+/// A ScenarioSpec resolved against the library types. Resolution assumes
+/// the spec is semantically valid (lint it first); violations surface as
+/// Status errors.
+struct ResolvedScenario {
+  model::ModelSpec spec;
+  topo::ClusterSpec cluster;
+  net::NetModel net_model = net::NetModel::kAnalytic;
+  /// One TracePhase per `phases` entry, each `steps` iterations long.
+  std::vector<straggler::TracePhase> trace;
+  /// The custom straggler overlay applied to a healthy cluster. All-healthy
+  /// when the spec lists no stragglers.
+  straggler::Situation overlay;
+  bool has_overlay = false;
+};
+
+/// Resolves model/cluster/trace/overlay. Fails on unknown model or phase
+/// names, out-of-range GPU ids, or an invalid net model.
+Result<ResolvedScenario> ResolveScenario(const ScenarioSpec& spec);
+
+/// Maps a model name ("32b"/"70b"/"110b"/"tiny") to its spec.
+Result<model::ModelSpec> ModelSpecByName(const std::string& name);
+
+/// Maps a canonical situation name ("normal", "s1".."s6") to its id.
+Result<straggler::SituationId> SituationIdByName(const std::string& name);
+
+}  // namespace scenario
+}  // namespace malleus
+
+#endif  // MALLEUS_SCENARIO_SCENARIO_H_

@@ -213,6 +213,94 @@ TEST_F(PlanTest, TuningFallsBackToAcUnderMemoryPressure) {
   EXPECT_TRUE(p->activation_checkpointing);
 }
 
+TEST_F(PlanTest, ValidationCatchesEmptyPlan) {
+  ParallelPlan p;
+  p.pipelines.clear();
+  const Status st = p.Validate(cluster_, cost_);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "plan has no pipelines");
+}
+
+TEST_F(PlanTest, ValidationCatchesDuplicateGpuAcrossPipelines) {
+  ParallelPlan p = MakeValidPlan();
+  // Reuse a GPU from the *other* pipeline (same node, so only the reuse
+  // check can fire, not the intra-node TP constraint).
+  p.pipelines[0].stages[0].group.gpus[0] =
+      p.pipelines[1].stages[0].group.gpus[0];
+  const Status st = p.Validate(cluster_, cost_);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("used more than once"), std::string::npos)
+      << st;
+}
+
+TEST_F(PlanTest, ValidationCatchesBatchSumMismatch) {
+  // sum(m_i) * b == B must hold against B itself, not just the m_i split.
+  ParallelPlan p = MakeValidPlan();
+  p.global_batch = 100;  // 64 micro-batches x 1 != 100.
+  const Status st = p.Validate(cluster_, cost_);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("global batch"), std::string::npos) << st;
+}
+
+TEST_F(PlanTest, ValidationCatchesNonPowerOfTwoTp) {
+  for (int bad_size : {3, 5, 6, 7}) {
+    ParallelPlan p = MakeValidPlan();
+    std::vector<topo::GpuId>& gpus = p.pipelines[0].stages[0].group.gpus;
+    // Grow/shrink the group within node 0 (GPUs 0-7; stage 1 owns 4-7).
+    gpus.clear();
+    for (int g = 0; g < bad_size; ++g) gpus.push_back(g);
+    p.pipelines[0].stages[1].group.gpus.clear();
+    p.pipelines[0].stages[1].group.gpus.push_back(7);
+    const Status st = p.Validate(cluster_, cost_);
+    EXPECT_FALSE(st.ok()) << "tp=" << bad_size;
+  }
+}
+
+TEST_F(PlanTest, SignatureOfEmptyAndDegeneratePlans) {
+  // Signature must be total: change detection runs before validation.
+  ParallelPlan empty;
+  empty.pipelines.clear();
+  const std::string sig = empty.Signature();
+  EXPECT_FALSE(sig.empty());
+  EXPECT_EQ(sig, empty.Signature());  // Deterministic.
+
+  ParallelPlan other;
+  other.pipelines.clear();
+  other.micro_batch_size = 2;
+  EXPECT_NE(sig, other.Signature());
+
+  // Standby-only difference is visible too.
+  ParallelPlan a = MakeValidPlan();
+  ParallelPlan b = a;
+  b.standby_gpus.push_back(31);
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+using PlanDeathTest = PlanTest;
+
+TEST_F(PlanDeathTest, StageMemoryRejectsBadPipelineIndex) {
+  const ParallelPlan p = MakeValidPlan();
+  EXPECT_DEATH(StageMemoryBytesPerGpu(p, -1, 0, cost_), "out of range");
+  EXPECT_DEATH(StageMemoryBytesPerGpu(p, 2, 0, cost_), "out of range");
+}
+
+TEST_F(PlanDeathTest, StageMemoryRejectsBadStageIndex) {
+  const ParallelPlan p = MakeValidPlan();
+  EXPECT_DEATH(StageMemoryBytesPerGpu(p, 0, -1, cost_), "out of range");
+  EXPECT_DEATH(StageMemoryBytesPerGpu(p, 0, 4, cost_), "out of range");
+}
+
+TEST_F(PlanTest, StageMemoryInRangeIsFinitePositive) {
+  const ParallelPlan p = MakeValidPlan();
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const double bytes = StageMemoryBytesPerGpu(p, i, j, cost_);
+      EXPECT_GT(bytes, 0.0) << i << "," << j;
+      EXPECT_LT(bytes, static_cast<double>(cost_.gpu().UsableBytes()));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace plan
 }  // namespace malleus

@@ -126,7 +126,9 @@ TEST_F(PlannerScenarioTest, HeavyStragglerIsolatedOrRemoved) {
     for (const auto& stage : pipe.stages) {
       bool has0 = std::find(stage.group.gpus.begin(), stage.group.gpus.end(),
                             0) != stage.group.gpus.end();
-      if (has0) EXPECT_EQ(stage.group.size(), 1);
+      if (has0) {
+        EXPECT_EQ(stage.group.size(), 1);
+      }
     }
   }
 }

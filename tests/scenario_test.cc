@@ -1,0 +1,182 @@
+// Tests for malleus::scenario: the key=value scenario-file parser (syntax
+// only, line-numbered errors) and resolution against the library types.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/fabric.h"
+#include "scenario/scenario.h"
+#include "straggler/situation.h"
+
+namespace malleus {
+namespace scenario {
+namespace {
+
+TEST(ScenarioParseTest, DefaultsWhenEmpty) {
+  Result<ScenarioSpec> spec = ParseScenarioString("");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->model, "32b");
+  EXPECT_EQ(spec->nodes, 4);
+  EXPECT_EQ(spec->gpus_per_node, 8);
+  EXPECT_EQ(spec->batch, 64);
+  EXPECT_EQ(spec->steps, 6);
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_TRUE(spec->net_model.empty());
+  EXPECT_TRUE(spec->phases.empty());
+  EXPECT_TRUE(spec->stragglers.empty());
+}
+
+TEST(ScenarioParseTest, FullFile) {
+  const char* text =
+      "# A comment line.\n"
+      "model = 70b\n"
+      "nodes = 8\n"
+      "gpus_per_node = 8\n"
+      "batch = 128   # trailing comment\n"
+      "steps = 3\n"
+      "seed = 7\n"
+      "net_model = flow\n"
+      "phase = normal\n"
+      "phase = s3\n"
+      "straggler = 9:2\n"
+      "straggler = 17:x2.5\n";
+  Result<ScenarioSpec> spec = ParseScenarioString(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->model, "70b");
+  EXPECT_EQ(spec->nodes, 8);
+  EXPECT_EQ(spec->batch, 128);
+  EXPECT_EQ(spec->steps, 3);
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_EQ(spec->net_model, "flow");
+  ASSERT_EQ(spec->phases.size(), 2u);
+  EXPECT_EQ(spec->phases[0], "normal");
+  EXPECT_EQ(spec->phases[1], "s3");
+  ASSERT_EQ(spec->stragglers.size(), 2u);
+  EXPECT_EQ(spec->stragglers[0].gpu, 9);
+  EXPECT_FALSE(spec->stragglers[0].is_rate);
+  EXPECT_EQ(spec->stragglers[0].level, 2);
+  EXPECT_EQ(spec->stragglers[0].line, 11);
+  EXPECT_EQ(spec->stragglers[1].gpu, 17);
+  EXPECT_TRUE(spec->stragglers[1].is_rate);
+  EXPECT_DOUBLE_EQ(spec->stragglers[1].rate, 2.5);
+}
+
+TEST(ScenarioParseTest, SyntaxErrorsNameTheLine) {
+  // Line 2 has no '='.
+  Result<ScenarioSpec> no_eq = ParseScenarioString("model = 32b\nbogus\n");
+  ASSERT_FALSE(no_eq.ok());
+  EXPECT_NE(no_eq.status().message().find("line 2"), std::string::npos)
+      << no_eq.status().ToString();
+
+  Result<ScenarioSpec> unknown = ParseScenarioString("\n\nwat = 3\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("unknown key: wat"),
+            std::string::npos);
+
+  Result<ScenarioSpec> empty_value = ParseScenarioString("model =\n");
+  ASSERT_FALSE(empty_value.ok());
+  EXPECT_NE(empty_value.status().message().find("empty value for model"),
+            std::string::npos);
+
+  Result<ScenarioSpec> bad_int = ParseScenarioString("nodes = four\n");
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_NE(bad_int.status().message().find("bad nodes"), std::string::npos);
+}
+
+TEST(ScenarioParseTest, StragglerSyntax) {
+  EXPECT_FALSE(ParseScenarioString("straggler = 9\n").ok());       // No colon.
+  EXPECT_FALSE(ParseScenarioString("straggler = a:2\n").ok());     // Bad GPU.
+  EXPECT_FALSE(ParseScenarioString("straggler = 9:xfast\n").ok()); // Bad rate.
+  EXPECT_FALSE(ParseScenarioString("straggler = 9:two\n").ok());   // Bad level.
+  // Semantic problems (out-of-range GPU, level 99) parse fine; lint
+  // catches them.
+  Result<ScenarioSpec> semantic = ParseScenarioString("straggler = 999:99\n");
+  ASSERT_TRUE(semantic.ok()) << semantic.status().ToString();
+  EXPECT_EQ(semantic->stragglers[0].gpu, 999);
+}
+
+TEST(ScenarioParseTest, LoadScenarioFileNotFound) {
+  Result<ScenarioSpec> missing = LoadScenarioFile("/nonexistent.scenario");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScenarioResolveTest, ResolvesModelClusterTraceOverlay) {
+  ScenarioSpec spec;
+  spec.model = "70b";
+  spec.nodes = 8;
+  spec.steps = 3;
+  spec.net_model = "flow";
+  spec.phases = {"normal", "s3"};
+  StragglerEntry level_entry, rate_entry;
+  level_entry.gpu = 9;
+  level_entry.level = 2;
+  rate_entry.gpu = 17;
+  rate_entry.is_rate = true;
+  rate_entry.rate = 2.5;
+  spec.stragglers = {level_entry, rate_entry};
+
+  Result<ResolvedScenario> resolved = ResolveScenario(spec);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved->cluster.num_gpus(), 64);
+  EXPECT_EQ(resolved->net_model, net::NetModel::kFlow);
+  ASSERT_EQ(resolved->trace.size(), 2u);
+  EXPECT_EQ(resolved->trace[0].id, straggler::SituationId::kNormal);
+  EXPECT_EQ(resolved->trace[1].id, straggler::SituationId::kS3);
+  EXPECT_EQ(resolved->trace[1].steps, 3);
+  EXPECT_TRUE(resolved->has_overlay);
+  EXPECT_DOUBLE_EQ(resolved->overlay.rate(9), straggler::RateForLevel(2));
+  EXPECT_DOUBLE_EQ(resolved->overlay.rate(17), 2.5);
+  EXPECT_DOUBLE_EQ(resolved->overlay.rate(0), 1.0);
+}
+
+TEST(ScenarioResolveTest, RejectsSemanticViolations) {
+  ScenarioSpec unknown_model;
+  unknown_model.model = "13b";
+  EXPECT_FALSE(ResolveScenario(unknown_model).ok());
+
+  ScenarioSpec bad_phase;
+  bad_phase.phases = {"s9"};
+  EXPECT_FALSE(ResolveScenario(bad_phase).ok());
+
+  ScenarioSpec bad_gpu;
+  StragglerEntry entry;
+  entry.gpu = 99;  // 4 x 8 = 32 GPUs.
+  bad_gpu.stragglers = {entry};
+  EXPECT_FALSE(ResolveScenario(bad_gpu).ok());
+
+  ScenarioSpec bad_shape;
+  bad_shape.nodes = 0;
+  EXPECT_FALSE(ResolveScenario(bad_shape).ok());
+
+  ScenarioSpec bad_net;
+  bad_net.net_model = "carrier-pigeon";
+  EXPECT_FALSE(ResolveScenario(bad_net).ok());
+}
+
+TEST(ScenarioResolveTest, NoOverlayWithoutStragglers) {
+  Result<ResolvedScenario> resolved = ResolveScenario(ScenarioSpec());
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_FALSE(resolved->has_overlay);
+  EXPECT_TRUE(resolved->trace.empty());
+}
+
+TEST(ScenarioNameTest, ModelAndPhaseLookups) {
+  EXPECT_TRUE(ModelSpecByName("32b").ok());
+  EXPECT_TRUE(ModelSpecByName("70b").ok());
+  EXPECT_TRUE(ModelSpecByName("110b").ok());
+  EXPECT_TRUE(ModelSpecByName("tiny").ok());
+  EXPECT_FALSE(ModelSpecByName("13b").ok());
+  EXPECT_TRUE(SituationIdByName("normal").ok());
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_TRUE(SituationIdByName("s" + std::to_string(k)).ok());
+  }
+  EXPECT_FALSE(SituationIdByName("s7").ok());
+  EXPECT_FALSE(SituationIdByName("S3").ok());  // Names are lowercase.
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace malleus

@@ -250,7 +250,9 @@ TEST(MinMaxPropertyTest, MatchesGenericIlpOnRandomInstances) {
     int64_t sum = 0;
     for (int j = 0; j < n; ++j) {
       sum += fast->amounts[j];
-      if (caps[j] >= 0) EXPECT_LE(fast->amounts[j], caps[j]);
+      if (caps[j] >= 0) {
+        EXPECT_LE(fast->amounts[j], caps[j]);
+      }
       EXPECT_LE(rates[j] * fast->amounts[j], fast->bottleneck + 1e-9);
     }
     EXPECT_EQ(sum, total);

@@ -1,0 +1,137 @@
+// malleus_lint: lint scenario files standalone, without running training.
+//
+//   $ ./tools/malleus_lint examples/scenarios/straggle_s3.scenario
+//   $ ./tools/malleus_lint --format=sarif run.scenario > lint.sarif
+//   $ ./tools/malleus_lint --list
+//
+// Per file, the full analysis stack runs:
+//   1. parse        — syntax errors abort the file (Status, line-numbered);
+//   2. scenario     — semantic checks on the parsed spec (lint::LintScenario);
+//   3. cluster      — shape/interconnect sanity (lint::LintCluster);
+//   4. situations   — the custom straggler overlay and every trace phase,
+//                     against the fitted straggler model (lint::LintSituation);
+//   5. plan         — the planner runs for the scenario's first situation and
+//                     its chosen plan is linted (structure + quality + the
+//                     1F1B event-graph audit), unless --no-plan;
+//   6. flow         — the plan's grad-sync rings are played through the
+//                     flow-level fabric simulator and the result audited for
+//                     conservation (lint::LintFlowConservation).
+//
+// Exit status: 0 = no error-level diagnostics anywhere, 1 = at least one
+// error (or a file failed to parse / plan), 2 = bad usage.
+//
+// Flags:
+//   --format=text|json|sarif   output format          (default text)
+//   --no-plan                  skip the planner-dependent passes (5-6)
+//   --list                     print the diagnostic-code registry and exit
+//
+// With json/sarif and several files, all findings merge into one document
+// (the first file is recorded as the SARIF artifact).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scenario_lint.h"
+#include "lint/diagnostic.h"
+#include "lint/lint.h"
+
+using namespace malleus;
+
+namespace {
+
+struct Args {
+  std::string format = "text";
+  bool no_plan = false;
+  bool list = false;
+  std::vector<std::string> files;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      out->format = arg.substr(9);
+      if (out->format != "text" && out->format != "json" &&
+          out->format != "sarif") {
+        std::fprintf(stderr, "unknown format: %s\n", out->format.c_str());
+        return false;
+      }
+    } else if (arg == "--no-plan") {
+      out->no_plan = true;
+    } else if (arg == "--list") {
+      out->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      out->files.push_back(arg);
+    }
+  }
+  return out->list || !out->files.empty();
+}
+
+// Runs the shared end-to-end lint. Returns false when the file could not
+// even be analyzed (parse or planner failure), which counts as an error
+// exit.
+bool LintFile(const std::string& path, const Args& args,
+              lint::DiagnosticSink* sink) {
+  core::ScenarioLintOptions options;
+  options.with_plan = !args.no_plan;
+  const Status status = core::LintScenarioFile(path, options, sink);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintPassList() {
+  for (const lint::PassInfo& pass : lint::Passes()) {
+    std::printf("%-7s %-28s %s\n", lint::SeverityName(pass.severity),
+                pass.code, pass.summary);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--format=text|json|sarif] [--no-plan] [--list] "
+                 "FILE.scenario...\n",
+                 argv[0]);
+    return 2;
+  }
+  if (args.list) {
+    PrintPassList();
+    return 0;
+  }
+
+  lint::DiagnosticSink merged;
+  bool analyzable = true;
+  for (const std::string& path : args.files) {
+    lint::DiagnosticSink sink;
+    if (!LintFile(path, args, &sink)) analyzable = false;
+    if (args.format == "text" && !sink.empty()) {
+      std::printf("%s:\n%s", path.c_str(), lint::RenderText(sink).c_str());
+    }
+    merged.Merge(sink);
+  }
+  lint::RecordDiagnosticMetrics(merged);
+
+  if (args.format == "json") {
+    std::printf("%s\n", lint::RenderJson(merged).c_str());
+  } else if (args.format == "sarif") {
+    std::printf("%s\n",
+                lint::RenderSarif(merged, args.files.front()).c_str());
+  } else if (merged.empty()) {
+    std::printf("%zu file(s): no diagnostics\n", args.files.size());
+  }
+  return (merged.HasErrors() || !analyzable) ? 1 : 0;
+}
