@@ -101,6 +101,10 @@ inline double GeoMean(const std::vector<double>& values) {
 /// Writes a bench's machine-readable result JSON to BENCH_<name>.json in
 /// the working directory (or under $MALLEUS_BENCH_OUT_DIR when set), so
 /// harness runs leave a stable artifact next to the binary output.
+/// The benches printf-format their numbers; a NaN/Inf slipping through
+/// (e.g. a 0/0 improvement ratio on a failed baseline) would make the
+/// whole artifact unparsable, so non-finite number tokens are rewritten
+/// to `null` before the file is written.
 inline void WriteBenchJson(const char* bench_name, const std::string& json) {
   std::string path;
   if (const char* dir = std::getenv("MALLEUS_BENCH_OUT_DIR");
@@ -113,7 +117,8 @@ inline void WriteBenchJson(const char* bench_name, const std::string& json) {
     std::fprintf(stderr, "cannot write bench result to %s\n", path.c_str());
     return;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
+  const std::string sane = JsonSanitizeNonFinite(json);
+  std::fwrite(sane.data(), 1, sane.size(), f);
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 
 namespace malleus {
 
@@ -104,6 +105,64 @@ std::string JsonEscape(const std::string& s) {
           out += c;
         }
     }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v, int significant_digits) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.*g", significant_digits, v);
+}
+
+std::string JsonSanitizeNonFinite(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  bool in_string = false;
+  size_t i = 0;
+  auto matches = [&](size_t pos, const char* word) {
+    const size_t n = std::strlen(word);
+    if (json.compare(pos, n, word) != 0) return size_t{0};
+    return n;
+  };
+  while (i < json.size()) {
+    const char c = json[i];
+    if (in_string) {
+      out += c;
+      if (c == '\\' && i + 1 < json.size()) {
+        out += json[i + 1];
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out += c;
+      ++i;
+      continue;
+    }
+    // A non-finite printf rendering can only start at a sign or at the
+    // token itself; "-nan" / "-inf" must swallow the sign too (a bare
+    // `-null` would still be invalid JSON).
+    size_t p = i;
+    if (c == '-' || c == '+') ++p;
+    size_t n = matches(p, "nan");
+    if (n == 0) n = matches(p, "inf");
+    if (n != 0) {
+      p += n;
+      if (json.compare(p, 5, "inity") == 0) p += 5;  // "infinity"
+      if (p < json.size() && json[p] == '(') {       // "nan(0x...)" payloads
+        const size_t close = json.find(')', p);
+        if (close != std::string::npos) p = close + 1;
+      }
+      out += "null";
+      i = p;
+      continue;
+    }
+    out += c;
+    ++i;
   }
   return out;
 }

@@ -35,6 +35,17 @@ std::string CsvEscape(const std::string& field);
 /// backslashes and control characters); adds no surrounding quotes.
 std::string JsonEscape(const std::string& s);
 
+/// Renders a double as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values render as `null` (the conventional lossless-ish
+/// substitute) instead of producing invalid output like `inf`.
+std::string JsonNumber(double v, int significant_digits = 9);
+
+/// Repairs a JSON document whose numeric fields were printf-formatted
+/// without a finiteness check: every bare `nan`/`inf` token (with optional
+/// sign, and `nan(...)` payloads) outside string literals is replaced with
+/// `null`. Content inside strings is left untouched.
+std::string JsonSanitizeNonFinite(const std::string& json);
+
 }  // namespace malleus
 
 #endif  // MALLEUS_COMMON_STRING_UTIL_H_

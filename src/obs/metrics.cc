@@ -171,16 +171,6 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
-namespace {
-
-// JSON-safe number rendering (finite shortest-ish form; JSON has no inf).
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
-  return StrFormat("%.9g", v);
-}
-
-}  // namespace
-
 std::string MetricsRegistry::ToText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

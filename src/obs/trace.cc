@@ -13,11 +13,6 @@ namespace {
 // deterministic inputs, and fine-grained enough for any simulated span.
 std::string FormatMicros(double us) { return StrFormat("%.4f", us); }
 
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
-  return StrFormat("%.9g", v);
-}
-
 void AppendArgs(const std::vector<TraceArg>& args, std::string* out) {
   *out += "{";
   for (size_t i = 0; i < args.size(); ++i) {

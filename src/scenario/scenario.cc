@@ -85,6 +85,10 @@ Result<ScenarioSpec> ParseScenarioString(const std::string& text) {
   ScenarioSpec spec;
   int line_no = 0;
   size_t pos = 0;
+  // Files that passed through Windows editors may lead with a UTF-8 BOM;
+  // without this the first key would read as "\xEF\xBB\xBFmodel". CR and
+  // trailing whitespace are handled by Trim (isspace covers '\r').
+  if (text.compare(0, 3, "\xEF\xBB\xBF") == 0) pos = 3;
   while (pos <= text.size()) {
     const size_t eol = text.find('\n', pos);
     std::string line = text.substr(
@@ -138,6 +142,35 @@ Result<ScenarioSpec> ParseScenarioString(const std::string& text) {
     }
   }
   return spec;
+}
+
+std::string SerializeScenario(const ScenarioSpec& spec) {
+  std::string out;
+  out += "model = " + spec.model + "\n";
+  out += StrFormat("nodes = %d\n", spec.nodes);
+  out += StrFormat("gpus_per_node = %d\n", spec.gpus_per_node);
+  out += StrFormat("batch = %lld\n", static_cast<long long>(spec.batch));
+  out += StrFormat("steps = %d\n", spec.steps);
+  // The parser reads seeds through strtoll, so only seeds below 2^63
+  // round-trip; everything in the tree (flag defaults, the fuzzer's
+  // generator) stays in that range.
+  out += StrFormat("seed = %llu\n",
+                   static_cast<unsigned long long>(spec.seed));
+  if (!spec.net_model.empty()) {
+    out += "net_model = " + spec.net_model + "\n";
+  }
+  for (const std::string& phase : spec.phases) {
+    out += "phase = " + phase + "\n";
+  }
+  for (const StragglerEntry& s : spec.stragglers) {
+    if (s.is_rate) {
+      // %.17g round-trips every finite double exactly through strtod.
+      out += StrFormat("straggler = %d:x%.17g\n", s.gpu, s.rate);
+    } else {
+      out += StrFormat("straggler = %d:%d\n", s.gpu, s.level);
+    }
+  }
+  return out;
 }
 
 Result<ScenarioSpec> LoadScenarioFile(const std::string& path) {

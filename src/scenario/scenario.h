@@ -64,10 +64,20 @@ struct ScenarioSpec {
 };
 
 /// Parses the scenario text. Syntax errors name the 1-based line.
+/// Tolerates editor artifacts that round-trip through other tools: a
+/// UTF-8 BOM, CRLF line endings, trailing whitespace, and `#` comments
+/// after a value.
 Result<ScenarioSpec> ParseScenarioString(const std::string& text);
 
 /// Reads and parses `path`.
 Result<ScenarioSpec> LoadScenarioFile(const std::string& path);
+
+/// Renders `spec` back into the scenario file syntax such that
+/// ParseScenarioString(SerializeScenario(spec)) reproduces every field
+/// (source and per-entry line numbers excepted). Straggler rates are
+/// emitted with enough digits to round-trip exactly. This is what the
+/// fuzzer uses to write self-contained `.scenario` repro files.
+std::string SerializeScenario(const ScenarioSpec& spec);
 
 /// A ScenarioSpec resolved against the library types. Resolution assumes
 /// the spec is semantically valid (lint it first); violations surface as

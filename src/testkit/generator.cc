@@ -1,0 +1,108 @@
+#include "testkit/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace malleus {
+namespace testkit {
+
+namespace {
+
+// Picks an element with the weight distribution `weights` (parallel to
+// `values`); weights need not sum to 1.
+template <typename T>
+T Weighted(Rng* rng, const std::vector<T>& values,
+           const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = rng->Uniform() * total;
+  for (size_t i = 0; i < values.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return values[i];
+  }
+  return values.back();
+}
+
+}  // namespace
+
+uint64_t MixSeed(uint64_t seed, uint64_t run) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (run + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+scenario::ScenarioSpec GenerateScenario(Rng* rng,
+                                        const GeneratorOptions& options) {
+  scenario::ScenarioSpec spec;
+
+  // Model: mostly tiny (fast solver sweeps); occasionally a paper model,
+  // which on a small cluster probes the infeasible/memory-bound boundary.
+  if (rng->Uniform() < options.big_model_prob) {
+    spec.model = Weighted<std::string>(rng, {"32b", "70b", "110b"},
+                                       {0.6, 0.3, 0.1});
+  } else {
+    spec.model = "tiny";
+  }
+
+  // Cluster shape, biased to the degenerate corners: single-node clusters,
+  // single-GPU nodes, and non-power-of-two nodes whose grouping must fall
+  // back to mixed power-of-two compositions (7 -> 4+2+1).
+  spec.nodes = std::min<int>(
+      options.max_nodes,
+      Weighted<int>(rng, {1, 2, 3, 4, 8}, {0.3, 0.25, 0.1, 0.25, 0.1}));
+  spec.gpus_per_node = std::min<int>(
+      options.max_gpus_per_node,
+      Weighted<int>(rng, {1, 2, 3, 4, 5, 7, 8},
+                    {0.25, 0.1, 0.07, 0.15, 0.04, 0.04, 0.35}));
+
+  // Batch: 1 (degenerate 1F1B), around the paper's 64, or huge (more
+  // micro-batches than the division search normally sees).
+  spec.batch = std::min<int64_t>(
+      options.max_batch,
+      Weighted<int64_t>(rng, {1, 2, 4, 8, 16, 64, 256, 1024},
+                        {0.18, 0.08, 0.08, 0.12, 0.12, 0.22, 0.1, 0.1}));
+  spec.steps = static_cast<int>(rng->UniformInt(1, 2));
+  spec.seed = rng->Next() >> 1;  // Keep below 2^63 so it round-trips.
+
+  spec.net_model = Weighted<std::string>(rng, {"", "analytic", "flow"},
+                                         {0.5, 0.25, 0.25});
+
+  // Trace phases: empty (overlay-only), or a few canonical situations with
+  // extra weight on the multi-straggler ones (s5/s6 stress whole nodes).
+  const int num_phases = static_cast<int>(rng->UniformInt(0, 3));
+  for (int i = 0; i < num_phases; ++i) {
+    spec.phases.push_back(Weighted<std::string>(
+        rng, {"normal", "s1", "s2", "s3", "s4", "s5", "s6"},
+        {0.2, 0.12, 0.12, 0.12, 0.12, 0.16, 0.16}));
+  }
+
+  // Custom straggler overlay. Duplicates and already-straggling GPUs are
+  // allowed on purpose (last entry wins; the parser and resolver must not
+  // care). Levels are biased to the extremes (1 and the paper's max 8).
+  const int num_gpus = spec.nodes * spec.gpus_per_node;
+  const int num_stragglers = static_cast<int>(rng->UniformInt(0, 5));
+  for (int i = 0; i < num_stragglers; ++i) {
+    scenario::StragglerEntry entry;
+    entry.gpu =
+        static_cast<topo::GpuId>(rng->UniformInt(0, num_gpus - 1));
+    if (rng->Uniform() < options.failed_gpu_prob) {
+      entry.is_rate = true;
+      entry.rate = straggler::kFailedRate;  // Serializes as "inf".
+    } else if (rng->Uniform() < options.rate_entry_prob) {
+      entry.is_rate = true;
+      // The fitted model tops out at x = 1 + 1.44 * 8 = 12.52; sample a
+      // bit past it so the rate-above-fit lint boundary is exercised.
+      entry.rate = rng->Uniform(1.0, 14.0);
+    } else {
+      entry.level =
+          static_cast<int>(Weighted<int>(rng, {0, 1, 2, 3, 8},
+                                         {0.1, 0.3, 0.15, 0.15, 0.3}));
+    }
+    spec.stragglers.push_back(entry);
+  }
+  return spec;
+}
+
+}  // namespace testkit
+}  // namespace malleus

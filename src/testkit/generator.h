@@ -1,0 +1,56 @@
+// Seeded random scenario generation for the fuzz harness.
+//
+// The generator produces syntactically valid scenario::ScenarioSpecs whose
+// distribution is deliberately biased toward the boundary regions where the
+// planner/simulator stack historically breaks: single-GPU nodes, degenerate
+// TP groups (gpus_per_node not a power of two), maximum straggler levels,
+// duplicate straggler entries, micro-batch counts of 1 and far beyond the
+// cluster, and models too large for the cluster (so infeasibility paths are
+// exercised, not just happy paths).
+//
+// Determinism contract: the generated spec is a pure function of the Rng
+// state — GenerateScenario(seeded rng) is byte-stable across runs, builds
+// and thread counts, which is what makes `malleus_fuzz --seed=S`
+// reproducible and its report hashable.
+
+#ifndef MALLEUS_TESTKIT_GENERATOR_H_
+#define MALLEUS_TESTKIT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "scenario/scenario.h"
+
+namespace malleus {
+namespace testkit {
+
+struct GeneratorOptions {
+  /// Hard caps keeping one fuzz run sub-second on the tiny model.
+  int max_nodes = 8;
+  int max_gpus_per_node = 8;
+  int64_t max_batch = 1024;
+  /// Probability of picking a real paper model (32b/70b/110b) instead of
+  /// the tiny test model. Big models mostly exercise infeasibility and the
+  /// memory-constraint boundaries; tiny keeps the solver sweeps fast.
+  double big_model_prob = 0.15;
+  /// Probability of a straggler entry using an explicit rate (GPU:xR)
+  /// instead of a level (GPU:K).
+  double rate_entry_prob = 0.35;
+  /// Probability of one entry marking a completely failed GPU (rate inf).
+  double failed_gpu_prob = 0.03;
+};
+
+/// Draws one scenario from `rng`. Never fails: every output parses and
+/// serializes (round-trip), though it may be semantically infeasible on
+/// purpose (that is a boundary the oracles must survive, not an error).
+scenario::ScenarioSpec GenerateScenario(Rng* rng,
+                                        const GeneratorOptions& options = {});
+
+/// Mixes a base seed and a run index into one Rng seed. SplitMix-style so
+/// consecutive runs land in unrelated states.
+uint64_t MixSeed(uint64_t seed, uint64_t run);
+
+}  // namespace testkit
+}  // namespace malleus
+
+#endif  // MALLEUS_TESTKIT_GENERATOR_H_

@@ -1,0 +1,73 @@
+#include "testkit/golden.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/planner.h"
+#include "core/snapshot.h"
+#include "model/cost_model.h"
+#include "straggler/situation.h"
+
+namespace malleus {
+namespace testkit {
+
+Result<std::string> RenderGoldenSnapshot(
+    const scenario::ScenarioSpec& spec) {
+  Result<scenario::ResolvedScenario> resolved =
+      scenario::ResolveScenario(spec);
+  if (!resolved.ok()) return resolved.status();
+  const topo::ClusterSpec& cluster = resolved->cluster;
+  const model::CostModel cost(resolved->spec, cluster.gpu());
+
+  // The situations the scenario implies, labeled and deduplicated in
+  // first-appearance order (re-planning an already-seen phase would only
+  // duplicate bytes).
+  std::vector<std::pair<std::string, straggler::Situation>> situations;
+  if (resolved->has_overlay) {
+    situations.emplace_back("overlay", resolved->overlay);
+  } else if (!resolved->trace.empty()) {
+    std::vector<straggler::SituationId> seen;
+    for (const straggler::TracePhase& phase : resolved->trace) {
+      bool duplicate = false;
+      for (straggler::SituationId id : seen) {
+        if (id == phase.id) duplicate = true;
+      }
+      if (duplicate) continue;
+      seen.push_back(phase.id);
+      Result<straggler::Situation> situation =
+          straggler::Situation::Canonical(cluster, phase.id);
+      if (!situation.ok()) return situation.status();
+      situations.emplace_back(straggler::SituationName(phase.id),
+                              std::move(*situation));
+    }
+  } else {
+    situations.emplace_back("Normal",
+                            straggler::Situation(cluster.num_gpus()));
+  }
+
+  std::string out;
+  out += "# malleus golden snapshot (regenerate: malleus_golden "
+         "--update-golden)\n";
+  out += "== scenario ==\n";
+  out += scenario::SerializeScenario(spec);
+  const core::Planner planner(cluster, cost);
+  core::PlannerOptions options;
+  options.num_threads = 1;
+  for (const auto& [label, situation] : situations) {
+    out += StrFormat("== situation %s ==\n", label.c_str());
+    const Result<core::PlanResult> result =
+        planner.Plan(situation, spec.batch, options);
+    if (!result.ok()) {
+      out += StrFormat("plan failed: %s\n",
+                       result.status().ToString().c_str());
+      continue;
+    }
+    out += core::PlanResultSnapshot(*result, cluster, cost, situation);
+  }
+  return out;
+}
+
+}  // namespace testkit
+}  // namespace malleus

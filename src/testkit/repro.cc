@@ -1,0 +1,159 @@
+#include "testkit/repro.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/fabric.h"
+
+namespace malleus {
+namespace testkit {
+
+bool StillViolates(const scenario::ScenarioSpec& spec,
+                   const std::string& oracle, const OracleOptions& options) {
+  const OracleOutcome outcome = RunOracles(spec, options);
+  for (const Violation& v : outcome.violations) {
+    if (oracle.empty() || v.oracle == oracle) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Applies one candidate shrink; returns false when the shrink would not
+// change the spec (so the caller skips the oracle evaluation).
+using Shrink = bool (*)(scenario::ScenarioSpec*);
+
+bool ShrinkModel(scenario::ScenarioSpec* s) {
+  if (s->model == "tiny") return false;
+  s->model = "tiny";
+  return true;
+}
+bool ShrinkNodesToOne(scenario::ScenarioSpec* s) {
+  if (s->nodes <= 1) return false;
+  s->nodes = 1;
+  return true;
+}
+bool ShrinkNodesHalf(scenario::ScenarioSpec* s) {
+  if (s->nodes <= 1) return false;
+  s->nodes /= 2;
+  return true;
+}
+bool ShrinkGpusToOne(scenario::ScenarioSpec* s) {
+  if (s->gpus_per_node <= 1) return false;
+  s->gpus_per_node = 1;
+  return true;
+}
+bool ShrinkGpusHalf(scenario::ScenarioSpec* s) {
+  if (s->gpus_per_node <= 1) return false;
+  s->gpus_per_node /= 2;
+  return true;
+}
+bool ShrinkBatchToOne(scenario::ScenarioSpec* s) {
+  if (s->batch <= 1) return false;
+  s->batch = 1;
+  return true;
+}
+bool ShrinkBatchHalf(scenario::ScenarioSpec* s) {
+  if (s->batch <= 1) return false;
+  s->batch /= 2;
+  return true;
+}
+bool ShrinkSteps(scenario::ScenarioSpec* s) {
+  if (s->steps <= 1) return false;
+  s->steps = 1;
+  return true;
+}
+bool ShrinkNetModel(scenario::ScenarioSpec* s) {
+  if (s->net_model.empty()) return false;
+  s->net_model.clear();
+  return true;
+}
+bool ShrinkDropAllPhases(scenario::ScenarioSpec* s) {
+  if (s->phases.empty()) return false;
+  s->phases.clear();
+  return true;
+}
+bool ShrinkDropLastPhase(scenario::ScenarioSpec* s) {
+  if (s->phases.empty()) return false;
+  s->phases.pop_back();
+  return true;
+}
+bool ShrinkDropAllStragglers(scenario::ScenarioSpec* s) {
+  if (s->stragglers.empty()) return false;
+  s->stragglers.clear();
+  return true;
+}
+bool ShrinkDropLastStraggler(scenario::ScenarioSpec* s) {
+  if (s->stragglers.empty()) return false;
+  s->stragglers.pop_back();
+  return true;
+}
+
+// Cheapest-first: whole-field clears before halvings, so a spec whose bug
+// survives on the trivial shape collapses in a handful of evaluations.
+constexpr Shrink kShrinks[] = {
+    ShrinkModel,          ShrinkDropAllPhases,    ShrinkDropAllStragglers,
+    ShrinkNodesToOne,     ShrinkGpusToOne,        ShrinkBatchToOne,
+    ShrinkSteps,          ShrinkNetModel,         ShrinkNodesHalf,
+    ShrinkGpusHalf,       ShrinkBatchHalf,        ShrinkDropLastPhase,
+    ShrinkDropLastStraggler,
+};
+
+}  // namespace
+
+scenario::ScenarioSpec MinimizeScenario(const scenario::ScenarioSpec& spec,
+                                        const std::string& oracle,
+                                        const OracleOptions& options,
+                                        int max_evals, int* evals) {
+  scenario::ScenarioSpec best = spec;
+  int used = 0;
+  bool shrunk = true;
+  while (shrunk && used < max_evals) {
+    shrunk = false;
+    for (Shrink shrink : kShrinks) {
+      if (used >= max_evals) break;
+      scenario::ScenarioSpec candidate = best;
+      if (!shrink(&candidate)) continue;
+      ++used;
+      if (StillViolates(candidate, oracle, options)) {
+        best = std::move(candidate);
+        shrunk = true;
+      }
+    }
+  }
+  if (evals != nullptr) *evals = used;
+  return best;
+}
+
+std::string RenderRepro(const scenario::ScenarioSpec& minimized,
+                        const Violation& violation, uint64_t base_seed,
+                        uint64_t run_index, const OracleOptions& options) {
+  std::string out;
+  out += "# malleus_fuzz oracle violation repro\n";
+  out += StrFormat("# oracle: %s\n", violation.oracle.c_str());
+  // Violation messages are single-line by construction (StrFormat'd), but
+  // keep the comment well-formed if one ever carries a newline.
+  std::string message = violation.message;
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  out += StrFormat("# message: %s\n", message.c_str());
+  out += StrFormat("# found by: --seed=%llu run %llu\n",
+                   static_cast<unsigned long long>(base_seed),
+                   static_cast<unsigned long long>(run_index));
+  out += StrFormat("# oracle options: sim-net-model=%s%s\n",
+                   net::NetModelName(options.sim_net_model),
+                   options.inject_perturb_estimate
+                       ? " --inject=perturb-estimate"
+                       : "");
+  out += StrFormat("# replay: malleus_fuzz --replay=<this file>%s\n",
+                   options.inject_perturb_estimate
+                       ? " --inject=perturb-estimate"
+                       : "");
+  out += scenario::SerializeScenario(minimized);
+  return out;
+}
+
+}  // namespace testkit
+}  // namespace malleus

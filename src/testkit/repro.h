@@ -1,0 +1,52 @@
+// Repro handling for oracle violations: deterministic greedy scenario
+// minimization and self-contained `.scenario` repro rendering.
+//
+// When an oracle fires, the raw generated scenario is usually bigger than
+// the bug needs. MinimizeScenario shrinks it along a fixed schedule
+// (smaller model, fewer nodes/GPUs, smaller batch, dropped phases and
+// straggler entries), keeping a shrink only when the SAME oracle still
+// fires on the shrunk spec. The result plus the violation metadata is
+// rendered into a standalone `.scenario` file that `malleus_fuzz
+// --replay=<file>` re-runs: the repro carries everything needed (the
+// minimized spec and the oracle options) so reproduction does not depend
+// on the fuzzer's seed stream.
+
+#ifndef MALLEUS_TESTKIT_REPRO_H_
+#define MALLEUS_TESTKIT_REPRO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/scenario.h"
+#include "testkit/oracle.h"
+
+namespace malleus {
+namespace testkit {
+
+/// True iff RunOracles(spec, options) reports a violation of `oracle`
+/// (exact name match). Empty `oracle` matches any violation.
+bool StillViolates(const scenario::ScenarioSpec& spec,
+                   const std::string& oracle, const OracleOptions& options);
+
+/// Greedily shrinks `spec` while `oracle` keeps firing. Deterministic:
+/// fixed shrink order, first-accepted-wins, repeated to a fixpoint.
+/// `max_evals` caps the number of oracle evaluations spent shrinking;
+/// `evals` (optional) reports how many were used.
+scenario::ScenarioSpec MinimizeScenario(const scenario::ScenarioSpec& spec,
+                                        const std::string& oracle,
+                                        const OracleOptions& options,
+                                        int max_evals = 200,
+                                        int* evals = nullptr);
+
+/// Renders a self-contained repro file: a `#`-comment header naming the
+/// violated oracle, its message, the provenance (base seed + run index)
+/// and the oracle options, followed by the serialized minimized spec.
+/// The output parses with ParseScenarioString (comments are syntax).
+std::string RenderRepro(const scenario::ScenarioSpec& minimized,
+                        const Violation& violation, uint64_t base_seed,
+                        uint64_t run_index, const OracleOptions& options);
+
+}  // namespace testkit
+}  // namespace malleus
+
+#endif  // MALLEUS_TESTKIT_REPRO_H_

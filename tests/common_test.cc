@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/logging.h"
@@ -160,6 +161,42 @@ TEST(StringUtilTest, FormatSeconds) {
   EXPECT_EQ(FormatSeconds(0.02), "20.0 ms");
   EXPECT_EQ(FormatSeconds(2.0), "2.00 s");
   EXPECT_EQ(FormatSeconds(600.0), "10.0 min");
+}
+
+TEST(StringUtilTest, JsonNumberFiniteValues) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.25), "1.25");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(1.0 / 3.0), "0.333333333");
+  EXPECT_EQ(JsonNumber(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(StringUtilTest, JsonNumberNonFiniteBecomesNull) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(JsonNumber(inf), "null");
+  EXPECT_EQ(JsonNumber(-inf), "null");
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+}
+
+TEST(StringUtilTest, JsonSanitizeRewritesBareNonFiniteTokens) {
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":inf}"), "{\"a\":null}");
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":-inf}"), "{\"a\":null}");
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":nan}"), "{\"a\":null}");
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":-nan}"), "{\"a\":null}");
+  EXPECT_EQ(JsonSanitizeNonFinite("[inf,nan,-inf]"), "[null,null,null]");
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":nan(0x8000000000000)}"),
+            "{\"a\":null}");
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":infinity}"), "{\"a\":null}");
+}
+
+TEST(StringUtilTest, JsonSanitizeLeavesStringsAndNumbersAlone) {
+  // "inf"/"nan" inside string literals are content, not numbers.
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"label\":\"inf speedup\"}"),
+            "{\"label\":\"inf speedup\"}");
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"nan\":1.5e-3}"), "{\"nan\":1.5e-3}");
+  // Escaped quotes must not desynchronize the in-string tracker.
+  EXPECT_EQ(JsonSanitizeNonFinite("{\"a\":\"x\\\"inf\\\"y\",\"b\":inf}"),
+            "{\"a\":\"x\\\"inf\\\"y\",\"b\":null}");
 }
 
 TEST(TablePrinterTest, RendersAlignedTable) {

@@ -6,6 +6,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -268,6 +269,20 @@ TEST(MetricsRegistryTest, ExportsAndReset) {
   EXPECT_DOUBLE_EQ(reg.GetGauge("planner.last_estimate_seconds")->Value(),
                    0.0);
   EXPECT_EQ(reg.GetHistogram("planner.solve_seconds")->Count(), 0);
+}
+
+TEST(MetricsRegistryTest, NonFiniteValuesExportAsJsonNull) {
+  // A gauge fed a NaN/Inf (e.g. a ratio over a zero denominator) must not
+  // corrupt the JSON export; the registry renders such values as null.
+  MetricsRegistry reg;
+  reg.GetGauge("bad.gauge")->Set(std::numeric_limits<double>::quiet_NaN());
+  reg.GetCounter("bad.counter")
+      ->Increment(std::numeric_limits<double>::infinity());
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"bad.gauge\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
 }
 
 TEST(MetricsRegistryTest, GlobalIsStable) {

@@ -5,9 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "common/rng.h"
 #include "core/orchestration.h"
+#include "core/work_assignment.h"
 
 namespace malleus {
 namespace core {
@@ -161,6 +165,76 @@ TEST_F(OrchestrationTest, EveryGroupPlacedOrRemoved) {
   std::vector<int> expected(g.groups.size());
   std::iota(expected.begin(), expected.end(), 0);
   EXPECT_EQ(seen, expected);
+}
+
+// Differential: the bundle-permutation + Theorem-3 ordering search (with
+// its SolveCache memoization) must find the same optimal bottleneck as a
+// brute-force next_permutation sweep over EVERY stage order, each solved
+// with a fresh Eq. (2) call. 50 seeded random size-multisets cover mixed
+// {1,2,4} bundles. When the search drops hopeless groups to standby, the
+// optimality claim applies to the kept set (the drop re-solves with fewer
+// stages, which changes the memory coefficients), so the sweep runs over
+// exactly the groups the search kept.
+TEST(OrchestrationDifferentialTest, MatchesBruteForcePermutationSweep) {
+  const model::CostModel cost(model::ModelSpec::Tiny(), topo::GpuSpec());
+  Rng rng(20260807);
+  for (int trial = 0; trial < 50; ++trial) {
+    GroupingResult g;
+    const int num_groups = static_cast<int>(rng.UniformInt(2, 5));
+    int next_gpu = 0;
+    std::vector<int> indices;
+    for (int i = 0; i < num_groups; ++i) {
+      const int size = 1 << rng.UniformInt(0, 2);  // 1, 2 or 4.
+      plan::TpGroup group;
+      for (int k = 0; k < size; ++k) group.gpus.push_back(next_gpu++);
+      std::vector<double> member_rates(size, 1.0);
+      member_rates[0] = rng.Uniform(1.0, 3.0);
+      g.groups.push_back(group);
+      g.rates.push_back(cost.GroupRate(member_rates));
+      indices.push_back(i);
+    }
+
+    solver::SolveCache cache;
+    std::vector<int> removed;
+    Result<OrchestratedPipeline> orchestrated = OrderAndAssignLayers(
+        indices, g, cost, /*micro_batch=*/1, /*dp_degree=*/1,
+        /*nonuniform_layers=*/true, &removed, &cache);
+    ASSERT_TRUE(orchestrated.ok())
+        << "trial " << trial << ": " << orchestrated.status();
+    ASSERT_EQ(orchestrated->group_indices.size() + removed.size(),
+              indices.size())
+        << "trial " << trial;
+
+    // Cached and uncached orchestration must agree exactly.
+    Result<OrchestratedPipeline> uncached = OrderAndAssignLayers(
+        indices, g, cost, 1, 1, true, nullptr, nullptr);
+    ASSERT_TRUE(uncached.ok()) << uncached.status();
+    EXPECT_EQ(orchestrated->group_indices, uncached->group_indices)
+        << "trial " << trial;
+    EXPECT_EQ(orchestrated->bottleneck, uncached->bottleneck)
+        << "trial " << trial;
+
+    // Brute force: every order of the kept groups, solved directly.
+    std::vector<int> perm = orchestrated->group_indices;
+    std::sort(perm.begin(), perm.end());
+    double best = std::numeric_limits<double>::infinity();
+    do {
+      std::vector<double> rates;
+      std::vector<int> sizes;
+      for (int idx : perm) {
+        rates.push_back(g.rates[idx]);
+        sizes.push_back(g.groups[idx].size());
+      }
+      Result<LayerAssignment> assigned =
+          AssignLayers(rates, sizes, /*micro_batch=*/1, /*dp_degree=*/1,
+                       cost, /*nonuniform=*/true);
+      if (assigned.ok()) best = std::min(best, assigned->bottleneck);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    ASSERT_TRUE(std::isfinite(best)) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(orchestrated->bottleneck, best)
+        << "trial " << trial << ": ordering search missed the optimum";
+  }
 }
 
 }  // namespace

@@ -163,6 +163,108 @@ TEST(ScenarioResolveTest, NoOverlayWithoutStragglers) {
   EXPECT_TRUE(resolved->trace.empty());
 }
 
+TEST(ScenarioParseTest, CrlfLineEndings) {
+  Result<ScenarioSpec> spec = ParseScenarioString(
+      "model = tiny\r\nnodes = 2\r\nstraggler = 3:2\r\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->model, "tiny");
+  EXPECT_EQ(spec->nodes, 2);
+  ASSERT_EQ(spec->stragglers.size(), 1u);
+  EXPECT_EQ(spec->stragglers[0].gpu, 3);
+  EXPECT_EQ(spec->stragglers[0].level, 2);
+}
+
+TEST(ScenarioParseTest, TrailingWhitespaceAndComments) {
+  Result<ScenarioSpec> spec = ParseScenarioString(
+      "model = tiny   \t\n"
+      "nodes = 2 # two nodes\n"
+      "batch = 8\t# tab then comment\r\n"
+      "straggler = 1:x2.5   # rate comment\n"
+      "   \t \n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->model, "tiny");
+  EXPECT_EQ(spec->nodes, 2);
+  EXPECT_EQ(spec->batch, 8);
+  ASSERT_EQ(spec->stragglers.size(), 1u);
+  EXPECT_TRUE(spec->stragglers[0].is_rate);
+  EXPECT_DOUBLE_EQ(spec->stragglers[0].rate, 2.5);
+}
+
+TEST(ScenarioParseTest, Utf8ByteOrderMark) {
+  Result<ScenarioSpec> spec =
+      ParseScenarioString("\xEF\xBB\xBFmodel = 70b\nnodes = 8\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->model, "70b");
+  EXPECT_EQ(spec->nodes, 8);
+}
+
+TEST(ScenarioParseTest, BomOnlyInputIsEmpty) {
+  Result<ScenarioSpec> spec = ParseScenarioString("\xEF\xBB\xBF");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->model, "32b");
+}
+
+// Fields that must survive Serialize -> Parse unchanged (everything except
+// `source` and the per-entry line numbers, which describe provenance).
+void ExpectRoundTrips(const ScenarioSpec& spec) {
+  const std::string text = SerializeScenario(spec);
+  Result<ScenarioSpec> back = ParseScenarioString(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  EXPECT_EQ(back->model, spec.model);
+  EXPECT_EQ(back->nodes, spec.nodes);
+  EXPECT_EQ(back->gpus_per_node, spec.gpus_per_node);
+  EXPECT_EQ(back->batch, spec.batch);
+  EXPECT_EQ(back->steps, spec.steps);
+  EXPECT_EQ(back->seed, spec.seed);
+  EXPECT_EQ(back->net_model, spec.net_model);
+  EXPECT_EQ(back->phases, spec.phases);
+  ASSERT_EQ(back->stragglers.size(), spec.stragglers.size());
+  for (size_t i = 0; i < spec.stragglers.size(); ++i) {
+    EXPECT_EQ(back->stragglers[i].gpu, spec.stragglers[i].gpu);
+    EXPECT_EQ(back->stragglers[i].is_rate, spec.stragglers[i].is_rate);
+    if (spec.stragglers[i].is_rate) {
+      EXPECT_EQ(back->stragglers[i].rate, spec.stragglers[i].rate);
+    } else {
+      EXPECT_EQ(back->stragglers[i].level, spec.stragglers[i].level);
+    }
+  }
+}
+
+TEST(ScenarioSerializeTest, RoundTripsDefaults) {
+  ExpectRoundTrips(ScenarioSpec());
+}
+
+TEST(ScenarioSerializeTest, RoundTripsEveryField) {
+  ScenarioSpec spec;
+  spec.model = "70b";
+  spec.nodes = 8;
+  spec.gpus_per_node = 4;
+  spec.batch = 1024;
+  spec.steps = 2;
+  spec.seed = 123456789012345ULL;
+  spec.net_model = "flow";
+  spec.phases = {"normal", "s3", "normal"};
+  StragglerEntry level;
+  level.gpu = 9;
+  level.level = 8;
+  StragglerEntry rate;
+  rate.gpu = 17;
+  rate.rate = 2.5000000000000004;  // Needs all 17 significant digits.
+  rate.is_rate = true;
+  spec.stragglers = {level, rate};
+  ExpectRoundTrips(spec);
+}
+
+TEST(ScenarioSerializeTest, SerializedTextIsStable) {
+  // The fuzzer hashes reports containing serialized scenarios; the
+  // rendering must be canonical.
+  ScenarioSpec spec;
+  spec.stragglers.emplace_back();
+  EXPECT_EQ(SerializeScenario(spec), SerializeScenario(spec));
+  EXPECT_NE(SerializeScenario(spec).find("straggler = 0:0"),
+            std::string::npos);
+}
+
 TEST(ScenarioNameTest, ModelAndPhaseLookups) {
   EXPECT_TRUE(ModelSpecByName("32b").ok());
   EXPECT_TRUE(ModelSpecByName("70b").ok());

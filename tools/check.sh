@@ -13,10 +13,19 @@
 # planner determinism tests run under both net models.
 #
 #   tools/check.sh             # ASan/UBSan configure + build + 2x ctest
+#                              #   + a 25-run malleus_fuzz smoke
 #   tools/check.sh --fast      # reuse an existing build-asan configure
 #   tools/check.sh --tsan      # TSan build + concurrency-focused tests
 #   tools/check.sh --tsan --fast
 #   tools/check.sh --lint      # static-analysis gate (see below)
+#   tools/check.sh --fuzz      # 200-run oracle fuzz under ASan/UBSan,
+#                              #   once per --net-model (analytic, flow)
+#
+# Fuzz preset (--fuzz) — the seeded scenario fuzzer (tools/malleus_fuzz,
+# DESIGN.md §11) over 200 runs per net model, in the ASan/UBSan build, so
+# every oracle violation AND every memory/UB bug on a generated scenario
+# fails the run. On a violation the minimized `.scenario` repro paths are
+# printed; replay one with `malleus_fuzz --replay=<file>`.
 #
 # Lint preset (--lint) — the static-analysis gate, in four stages:
 #   1. a -Werror build (-DMALLEUS_WERROR=ON): compiler warnings fail;
@@ -40,6 +49,7 @@ for arg in "$@"; do
   case "$arg" in
     --tsan) MODE=tsan ;;
     --lint) MODE=lint ;;
+    --fuzz) MODE=fuzz ;;
     --fast) FAST=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -88,6 +98,33 @@ else
   SANITIZE=address,undefined
 fi
 
+# Seed for the oracle fuzzer (default smoke + --fuzz). Fixed so failures
+# reproduce with `malleus_fuzz --seed=$FUZZ_SEED`; bump deliberately to
+# rotate the explored scenario population.
+FUZZ_SEED=20260807
+
+# run_fuzz RUNS — one seeded fuzz sweep per net model in $BUILD_DIR's
+# instrumented malleus_fuzz. Prints the repro paths and exits non-zero on
+# any oracle violation (sanitizer findings abort the binary directly).
+run_fuzz() {
+  local runs=$1
+  local out_dir="$BUILD_DIR/fuzz-out"
+  mkdir -p "$out_dir"
+  for net_model in analytic flow; do
+    echo "== malleus_fuzz --seed=$FUZZ_SEED --runs=$runs" \
+         "--net-model=$net_model (sanitized) =="
+    if ! "$BUILD_DIR/tools/malleus_fuzz" \
+           --seed="$FUZZ_SEED" --runs="$runs" --net-model="$net_model" \
+           --out="$out_dir" --report="$out_dir/report-$net_model.json"; then
+      echo "fuzz: oracle violation(s); minimized repro(s):" >&2
+      ls "$out_dir"/repro-*.scenario >&2 2>/dev/null || true
+      echo "replay with: $BUILD_DIR/tools/malleus_fuzz --replay=<repro>" \
+           "--net-model=$net_model" >&2
+      exit 1
+    fi
+  done
+}
+
 if [[ "$FAST" != 1 || ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -115,15 +152,30 @@ if [[ "$MODE" == "tsan" ]]; then
   exit 0
 fi
 
-cmake --build "$BUILD_DIR" -j"$(nproc)"
-
 # halt_on_error makes UBSan findings fail the run instead of just logging.
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 
+if [[ "$MODE" == "fuzz" ]]; then
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target malleus_fuzz
+  run_fuzz 200
+  echo "OK: 2x200 fuzz runs clean under ASan/UBSan" \
+       "(analytic + flow net models, seed $FUZZ_SEED)"
+  exit 0
+fi
+
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# The ctest pass covers the `fuzz`-labeled smoke too; exclude it here and
+# run it explicitly below so both net models are swept and the repro path
+# is printed on failure.
 for net_model in analytic flow; do
   echo "== ctest (MALLEUS_NET_MODEL=$net_model) =="
   MALLEUS_NET_MODEL="$net_model" \
-    ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+    ctest --test-dir "$BUILD_DIR" -LE fuzz --output-on-failure -j"$(nproc)"
 done
-echo "OK: build + tests clean under ASan/UBSan (analytic + flow net models)"
+
+run_fuzz 25
+
+echo "OK: build + tests + 2x25 fuzz runs clean under ASan/UBSan" \
+     "(analytic + flow net models)"

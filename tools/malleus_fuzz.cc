@@ -1,0 +1,267 @@
+// malleus_fuzz: seeded scenario fuzzing against the property oracles.
+//
+//   $ ./tools/malleus_fuzz --seed=7 --runs=200
+//   $ ./tools/malleus_fuzz --seed=7 --runs=200 --report=fuzz.json --out=/tmp
+//   $ ./tools/malleus_fuzz --replay=repro-7-13.scenario
+//
+// Each run draws one boundary-biased scenario from the seeded generator
+// (testkit::GenerateScenario over Rng(MixSeed(seed, run))) and evaluates
+// every applicable oracle (testkit::RunOracles). A violation is minimized
+// (testkit::MinimizeScenario) and written as a self-contained `.scenario`
+// repro under --out, replayable with --replay.
+//
+// Determinism: the whole sweep is a pure function of the flags. The JSON
+// report carries no timestamps or machine state, and its FNV-1a hash is
+// printed so two invocations can be compared byte-for-byte:
+//
+//   $ ./tools/malleus_fuzz --seed=7 --runs=200 | grep report-hash
+//
+// Exit status: 0 = no violations, 1 = violations found (or a replay that
+// still violates), 2 = bad usage / I/O failure.
+//
+// Flags:
+//   --seed=N                 base seed             (default 1)
+//   --runs=N                 scenarios to fuzz     (default 100)
+//   --net-model=analytic|flow  net model for the noisy-sim oracle pass
+//   --out=DIR                repro output directory (default ".")
+//   --report=FILE            write the JSON report to FILE
+//   --replay=FILE            re-run the oracles on one scenario file
+//   --inject=perturb-estimate  deliberately break an oracle (harness test)
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/fabric.h"
+#include "scenario/scenario.h"
+#include "testkit/generator.h"
+#include "testkit/oracle.h"
+#include "testkit/repro.h"
+
+using namespace malleus;
+
+namespace {
+
+struct Args {
+  uint64_t seed = 1;
+  int runs = 100;
+  std::string net_model = "analytic";
+  std::string out_dir = ".";
+  std::string report_path;
+  std::string replay_path;
+  bool inject_perturb_estimate = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      out->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      out->runs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--net-model=", 0) == 0) {
+      out->net_model = arg.substr(12);
+      if (out->net_model != "analytic" && out->net_model != "flow") {
+        std::fprintf(stderr, "unknown net model: %s\n",
+                     out->net_model.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out->out_dir = arg.substr(6);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      out->report_path = arg.substr(9);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      out->replay_path = arg.substr(9);
+    } else if (arg == "--inject=perturb-estimate") {
+      out->inject_perturb_estimate = true;
+    } else {
+      if (arg != "--help" && arg != "-h") {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      }
+      return false;
+    }
+  }
+  return out->runs > 0 || !out->replay_path.empty();
+}
+
+testkit::OracleOptions ToOracleOptions(const Args& args) {
+  testkit::OracleOptions options;
+  options.sim_net_model = args.net_model == "flow" ? net::NetModel::kFlow
+                                                   : net::NetModel::kAnalytic;
+  options.inject_perturb_estimate = args.inject_perturb_estimate;
+  return options;
+}
+
+// FNV-1a, the conventional tiny non-cryptographic hash; enough to compare
+// two runs' reports without diffing the bytes.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+int Replay(const Args& args) {
+  Result<scenario::ScenarioSpec> spec =
+      scenario::LoadScenarioFile(args.replay_path);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", args.replay_path.c_str(),
+                 spec.status().ToString().c_str());
+    return 2;
+  }
+  const testkit::OracleOutcome outcome =
+      testkit::RunOracles(*spec, ToOracleOptions(args));
+  std::printf("replay %s: %zu oracles run, %zu violation(s)\n",
+              args.replay_path.c_str(), outcome.oracles_run.size(),
+              outcome.violations.size());
+  if (!outcome.error.empty()) {
+    std::printf("  note: %s\n", outcome.error.c_str());
+  }
+  for (const testkit::Violation& v : outcome.violations) {
+    std::printf("  %s: %s\n", v.oracle.c_str(), v.message.c_str());
+  }
+  return outcome.violations.empty() ? 0 : 1;
+}
+
+struct ViolationRecord {
+  int run = 0;
+  uint64_t run_seed = 0;
+  testkit::Violation violation;
+  std::string repro_path;
+};
+
+std::string RenderReport(const Args& args, int resolved, int planned,
+                         const std::map<std::string, int>& oracle_runs,
+                         const std::map<std::string, int>& oracle_violations,
+                         const std::vector<ViolationRecord>& records) {
+  std::string json = "{";
+  json += StrFormat("\"seed\":%" PRIu64 ",\"runs\":%d,", args.seed,
+                    args.runs);
+  json += StrFormat("\"net_model\":\"%s\",\"inject\":%s,",
+                    args.net_model.c_str(),
+                    args.inject_perturb_estimate ? "true" : "false");
+  json += StrFormat("\"resolved\":%d,\"planned\":%d,", resolved, planned);
+  json += "\"oracles\":{";
+  bool first = true;
+  for (const auto& [oracle, runs] : oracle_runs) {
+    if (!first) json += ",";
+    first = false;
+    const auto it = oracle_violations.find(oracle);
+    json += StrFormat("\"%s\":{\"runs\":%d,\"violations\":%d}",
+                      JsonEscape(oracle).c_str(), runs,
+                      it == oracle_violations.end() ? 0 : it->second);
+  }
+  json += "},\"violations\":[";
+  first = true;
+  for (const ViolationRecord& record : records) {
+    if (!first) json += ",";
+    first = false;
+    json += StrFormat(
+        "{\"run\":%d,\"seed\":%" PRIu64
+        ",\"oracle\":\"%s\",\"message\":\"%s\",\"repro\":\"%s\"}",
+        record.run, record.run_seed,
+        JsonEscape(record.violation.oracle).c_str(),
+        JsonEscape(record.violation.message).c_str(),
+        JsonEscape(record.repro_path).c_str());
+  }
+  json += "]}";
+  return json;
+}
+
+int Fuzz(const Args& args) {
+  const testkit::OracleOptions options = ToOracleOptions(args);
+  int resolved = 0;
+  int planned = 0;
+  std::map<std::string, int> oracle_runs;
+  std::map<std::string, int> oracle_violations;
+  std::vector<ViolationRecord> records;
+  bool io_failed = false;
+
+  for (int run = 0; run < args.runs; ++run) {
+    const uint64_t run_seed = testkit::MixSeed(args.seed, run);
+    Rng rng(run_seed);
+    const scenario::ScenarioSpec spec = testkit::GenerateScenario(&rng);
+    const testkit::OracleOutcome outcome =
+        testkit::RunOracles(spec, options);
+    resolved += outcome.resolved ? 1 : 0;
+    planned += outcome.planned ? 1 : 0;
+    for (const std::string& oracle : outcome.oracles_run) {
+      ++oracle_runs[oracle];
+    }
+    for (const testkit::Violation& v : outcome.violations) {
+      ++oracle_violations[v.oracle];
+    }
+    if (outcome.violations.empty()) continue;
+
+    // Minimize against the first violated oracle and write the repro.
+    const testkit::Violation& v = outcome.violations.front();
+    const scenario::ScenarioSpec minimized =
+        testkit::MinimizeScenario(spec, v.oracle, options);
+    ViolationRecord record;
+    record.run = run;
+    record.run_seed = run_seed;
+    record.violation = v;
+    record.repro_path = StrFormat("%s/repro-%" PRIu64 "-%d.scenario",
+                                  args.out_dir.c_str(), args.seed, run);
+    const std::string repro =
+        testkit::RenderRepro(minimized, v, args.seed, run, options);
+    if (!WriteFile(record.repro_path, repro)) {
+      std::fprintf(stderr, "cannot write %s\n", record.repro_path.c_str());
+      io_failed = true;
+    }
+    std::printf("run %d (seed %" PRIu64 "): VIOLATION %s\n", run, run_seed,
+                v.oracle.c_str());
+    std::printf("  %s\n", v.message.c_str());
+    std::printf("  repro: %s\n", record.repro_path.c_str());
+    records.push_back(std::move(record));
+  }
+
+  const std::string report = RenderReport(args, resolved, planned,
+                                          oracle_runs, oracle_violations,
+                                          records);
+  if (!args.report_path.empty() && !WriteFile(args.report_path, report)) {
+    std::fprintf(stderr, "cannot write %s\n", args.report_path.c_str());
+    io_failed = true;
+  }
+  std::printf("fuzzed %d scenario(s): %d resolved, %d planned, "
+              "%zu violation(s)\n",
+              args.runs, resolved, planned, records.size());
+  for (const auto& [oracle, runs] : oracle_runs) {
+    const auto it = oracle_violations.find(oracle);
+    std::printf("  %-42s %5d run(s) %3d violation(s)\n", oracle.c_str(),
+                runs, it == oracle_violations.end() ? 0 : it->second);
+  }
+  std::printf("report-hash: %016" PRIx64 "\n", Fnv1a(report));
+  if (io_failed) return 2;
+  return records.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: malleus_fuzz [--seed=N] [--runs=N] "
+        "[--net-model=analytic|flow] [--out=DIR] [--report=FILE]\n"
+        "                    [--replay=FILE] [--inject=perturb-estimate]\n");
+    return 2;
+  }
+  if (!args.replay_path.empty()) return Replay(args);
+  return Fuzz(args);
+}
