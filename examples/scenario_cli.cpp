@@ -36,7 +36,14 @@
 //   --events-out=FILE   run telemetry as JSONL (steps + typed engine
 //                       events with plan fingerprints)
 //   --csv-out=FILE      per-step run log as CSV
+//   --record-out=DIR    write the whole run as a recorded-run bundle (see
+//                       obs/bundle.h): the effective scenario, the chosen
+//                       plan's golden snapshot, the Chrome trace, the
+//                       metrics snapshot and the run log, manifest-hashed
+//                       so tools/malleus_whatif can verify and replay the
+//                       run offline
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,9 +60,11 @@
 #include "core/scenario_lint.h"
 #include "lint/lint.h"
 #include "net/fabric.h"
+#include "obs/bundle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenario/scenario.h"
+#include "testkit/golden.h"
 
 using namespace malleus;
 
@@ -75,7 +84,12 @@ struct Args {
   std::string metrics_out;
   std::string events_out;
   std::string csv_out;
+  std::string record_out;
   std::string scenario_file;
+  /// Custom straggler overlay carried over from --scenario, so a recorded
+  /// bundle round-trips the whole file (the trace run itself only plays
+  /// the phases; the overlay is what the what-if engine analyzes).
+  std::vector<scenario::StragglerEntry> stragglers;
   bool lint = false;
   std::string lint_format = "text";
 };
@@ -113,6 +127,7 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->steps = spec->steps;
       out->seed = spec->seed;
       out->trace = spec->phases;
+      out->stragglers = spec->stragglers;
       if (!spec->net_model.empty()) {
         Result<net::NetModel> nm = net::ParseNetModel(spec->net_model);
         if (!nm.ok()) {
@@ -160,6 +175,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->events_out = v;
     } else if (const char* v = value("--csv-out=")) {
       out->csv_out = v;
+    } else if (const char* v = value("--record-out=")) {
+      out->record_out = v;
     } else if (const char* v = value("--net-model=")) {
       Result<net::NetModel> model = net::ParseNetModel(v);
       if (!model.ok()) {
@@ -193,6 +210,30 @@ Result<model::ModelSpec> SpecFor(const std::string& name) {
   return Status::InvalidArgument("unknown model: " + name);
 }
 
+// The scenario the run actually executed, reconstructed from the effective
+// flags (a loaded --scenario plus overrides). This is what --record-out
+// persists, so a bundle replays the run as flagged, not as the file read.
+scenario::ScenarioSpec EffectiveSpec(
+    const Args& args, const std::vector<straggler::TracePhase>& trace) {
+  scenario::ScenarioSpec spec;
+  spec.model = args.model;
+  spec.nodes = args.nodes;
+  spec.gpus_per_node = 8;  // A800Cluster, the only shape the CLI runs.
+  spec.batch = args.batch;
+  spec.steps = args.steps;
+  spec.seed = args.seed;
+  spec.net_model = net::NetModelName(args.net_model);
+  for (const straggler::TracePhase& p : trace) {
+    std::string name = straggler::SituationName(p.id);
+    for (char& c : name) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    spec.phases.push_back(std::move(name));
+  }
+  spec.stragglers = args.stragglers;
+  return spec;
+}
+
 Result<straggler::SituationId> PhaseFor(const std::string& name) {
   using straggler::SituationId;
   if (name == "normal") return SituationId::kNormal;
@@ -218,7 +259,7 @@ int main(int argc, char** argv) {
                  "[--planner-threads=N] [--baselines] "
                  "[--trace-out=FILE] "
                  "[--metrics-out=FILE] [--events-out=FILE] "
-                 "[--csv-out=FILE]\n",
+                 "[--csv-out=FILE] [--record-out=DIR]\n",
                  argv[0]);
     return 2;
   }
@@ -288,7 +329,7 @@ int main(int argc, char** argv) {
   // Replace the planner's measured wall time by a representative constant
   // so every exported artifact is byte-reproducible for a fixed --seed.
   eng.planning_seconds_override = 0.02;
-  if (!args.trace_out.empty()) {
+  if (!args.trace_out.empty() || !args.record_out.empty()) {
     eng.sim.trace = &trace_recorder;
   }
   frameworks.push_back(
@@ -367,6 +408,38 @@ int main(int argc, char** argv) {
     if (WriteFileOrWarn(args.csv_out, run_log.ToCsv())) {
       std::printf("wrote run log CSV to %s\n", args.csv_out.c_str());
     } else {
+      rc = 1;
+    }
+  }
+  if (!args.record_out.empty()) {
+    const scenario::ScenarioSpec effective = EffectiveSpec(args, trace);
+    obs::RunBundle bundle;
+    bundle.producer = "scenario_cli";
+    bundle.files.push_back({obs::kBundleScenarioName,
+                            scenario::SerializeScenario(effective)});
+    // The snapshot is re-rendered from the effective scenario (the planner
+    // is deterministic), pinning the plan the bundle's trace executed so
+    // malleus_whatif can cross-check its own re-derivation.
+    Result<std::string> snapshot = testkit::RenderGoldenSnapshot(effective);
+    if (snapshot.ok()) {
+      bundle.files.push_back({obs::kBundleSnapshotName, *snapshot});
+    } else {
+      std::fprintf(stderr, "snapshot render failed: %s\n",
+                   snapshot.status().ToString().c_str());
+      rc = 1;
+    }
+    bundle.files.push_back({obs::kBundleTraceName,
+                            trace_recorder.ToChromeTraceJson()});
+    bundle.files.push_back({obs::kBundleMetricsName,
+                            obs::MetricsRegistry::Global().ToJson() + "\n"});
+    bundle.files.push_back({obs::kBundleEventsName, run_log.ToJsonl()});
+    bundle.files.push_back({obs::kBundleCsvName, run_log.ToCsv()});
+    const Status written = obs::WriteRunBundle(args.record_out, bundle);
+    if (written.ok()) {
+      std::printf("recorded run bundle (%zu members) to %s\n",
+                  bundle.files.size(), args.record_out.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
       rc = 1;
     }
   }

@@ -1,0 +1,33 @@
+// Tiny non-cryptographic hashing shared by tools and the recorded-run
+// bundle format: FNV-1a over bytes. Stable across platforms (pure integer
+// arithmetic, no endianness dependence), so hashes written into artifacts
+// (bundle manifests, fuzz reports) verify anywhere.
+
+#ifndef MALLEUS_COMMON_HASH_H_
+#define MALLEUS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace malleus {
+
+/// 64-bit FNV-1a. The conventional offset basis / prime; matches every
+/// published reference implementation byte for byte.
+inline uint64_t Fnv1a64(const char* data, size_t size,
+                        uint64_t seed = 1469598103934665603ull) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(const std::string& bytes,
+                        uint64_t seed = 1469598103934665603ull) {
+  return Fnv1a64(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace malleus
+
+#endif  // MALLEUS_COMMON_HASH_H_

@@ -114,6 +114,11 @@ std::string JsonNumber(double v, int significant_digits) {
   return StrFormat("%.*g", significant_digits, v);
 }
 
+std::string JsonFixed(double v, int decimals) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.*f", decimals, v);
+}
+
 std::string JsonSanitizeNonFinite(const std::string& json) {
   std::string out;
   out.reserve(json.size());

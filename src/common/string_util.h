@@ -40,6 +40,12 @@ std::string JsonEscape(const std::string& s);
 /// substitute) instead of producing invalid output like `inf`.
 std::string JsonNumber(double v, int significant_digits = 9);
 
+/// Renders a double as a JSON number with a fixed number of decimals
+/// ("%.*f"), for fields whose textual width must not depend on magnitude
+/// (e.g. trace timestamps). Non-finite values render as `null`, like
+/// JsonNumber.
+std::string JsonFixed(double v, int decimals);
+
 /// Repairs a JSON document whose numeric fields were printf-formatted
 /// without a finiteness check: every bare `nan`/`inf` token (with optional
 /// sign, and `nan(...)` payloads) outside string literals is replaced with

@@ -161,6 +161,16 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
   if (situation.num_gpus() != cluster_.num_gpus()) {
     return Status::InvalidArgument("situation does not match cluster");
   }
+  if (options.forced_tp != 0 && options.forced_tp != 1 &&
+      options.forced_tp != 2 && options.forced_tp != 4 &&
+      options.forced_tp != 8) {
+    return Status::InvalidArgument("forced_tp must be one of 0, 1, 2, 4, 8");
+  }
+  if (options.forced_tp > cluster_.gpus_per_node()) {
+    return Status::Infeasible(
+        StrFormat("forced_tp %d exceeds gpus_per_node %d", options.forced_tp,
+                  cluster_.gpus_per_node()));
+  }
 
   const int num_threads = ResolveThreads(options.num_threads);
   solver::SolveCache* solve_cache =
@@ -178,6 +188,7 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
   std::vector<TpEntry> entries;
   for (int tp : {1, 2, 4, 8}) {
     if (tp > cluster_.gpus_per_node()) continue;
+    if (options.forced_tp > 0 && tp != options.forced_tp) continue;
     GroupingOptions gopts;
     gopts.max_tp_degree = tp;
     gopts.enable_splitting = options.nonuniform_devices;

@@ -40,6 +40,10 @@ struct PlannerOptions {
   int dp_degree = 0;
   /// Micro-batch sizes b in [1, max_micro_batch] dividing B are enumerated.
   int max_micro_batch = 4;
+  /// 0 enumerates TP degrees in {1,2,4,8} (capped by gpus_per_node); a
+  /// value from that set pins the sweep to exactly that degree. The
+  /// what-if engine uses this for `force_tp` counterfactuals.
+  int forced_tp = 0;
   /// Feature flags for the Figure 9 ablation.
   bool nonuniform_devices = true;  ///< Grouping splits + varied stage counts.
   bool nonuniform_layers = true;   ///< Eq. (2) vs even layer split.

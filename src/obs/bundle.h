@@ -1,0 +1,93 @@
+// Recorded-run bundles: a durable, self-describing directory capturing one
+// engine run — the scenario that produced it, the chosen plan's snapshot,
+// the Chrome trace, the metrics snapshot and the run-log events — so
+// offline query tools (tools/malleus_whatif) can replay the run long after
+// the process that recorded it exited.
+//
+// Layout: a bundle is a directory of named byte files plus a MANIFEST in
+// the repo's key=value idiom. The manifest pins the format version, the
+// producing tool, every member file's size and 64-bit FNV-1a hash, and an
+// overall content hash over the (sorted) member digests, so truncation,
+// corruption and partial copies are detected at load time with a Status —
+// never a crash. The obs layer treats member contents as opaque bytes;
+// interpreting them (parsing the scenario, diffing the trace) is the
+// caller's business, which keeps this module dependent on nothing but
+// malleus_common.
+//
+//   MANIFEST
+//   run.scenario     serialized scenario::ScenarioSpec
+//   snapshot.txt     testkit::RenderGoldenSnapshot of the scenario
+//   trace.json       Chrome trace-event JSON (TraceRecorder export)
+//   metrics.json     MetricsRegistry::ToJson at the end of the run
+//   events.jsonl     core::RunLog::ToJsonl
+//   run.csv          core::RunLog::ToCsv
+//
+// The canonical member names above are what scenario_cli --record-out
+// writes; LoadRunBundle accepts any member set the manifest lists.
+
+#ifndef MALLEUS_OBS_BUNDLE_H_
+#define MALLEUS_OBS_BUNDLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace malleus {
+namespace obs {
+
+/// Canonical member names written by scenario_cli --record-out.
+inline constexpr char kBundleManifestName[] = "MANIFEST";
+inline constexpr char kBundleScenarioName[] = "run.scenario";
+inline constexpr char kBundleSnapshotName[] = "snapshot.txt";
+inline constexpr char kBundleTraceName[] = "trace.json";
+inline constexpr char kBundleMetricsName[] = "metrics.json";
+inline constexpr char kBundleEventsName[] = "events.jsonl";
+inline constexpr char kBundleCsvName[] = "run.csv";
+
+/// The manifest format version this build reads and writes.
+inline constexpr int kBundleVersion = 1;
+
+/// One member file of a bundle.
+struct BundleFile {
+  std::string name;     ///< Member file name (no directory separators).
+  std::string content;  ///< Raw bytes.
+};
+
+/// \brief An in-memory recorded-run bundle.
+struct RunBundle {
+  int version = kBundleVersion;
+  /// The tool that recorded the run (e.g. "scenario_cli"), free-form.
+  std::string producer;
+  /// Member files, kept sorted by name (WriteRunBundle sorts; LoadRunBundle
+  /// preserves manifest order, which is sorted for bundles we wrote).
+  std::vector<BundleFile> files;
+
+  /// The content of member `name`, or nullptr when absent.
+  const std::string* Find(const std::string& name) const;
+};
+
+/// FNV-1a digest over the bundle's members: each member contributes
+/// "name:hash\n" (hash in fixed 16-hex-digit form) in sorted-name order.
+/// Identical member sets hash identically regardless of insertion order.
+uint64_t BundleContentHash(const RunBundle& bundle);
+
+/// Writes `bundle` as a directory at `dir` (created if needed; existing
+/// member files are overwritten). Member names must be non-empty and free
+/// of path separators. The manifest is written last, so a bundle with a
+/// readable manifest always has all its members on disk.
+Status WriteRunBundle(const std::string& dir, const RunBundle& bundle);
+
+/// Loads and verifies the bundle at `dir`: the manifest must parse, every
+/// listed member must exist with the recorded size and FNV-1a hash, and
+/// the overall content hash must match. Any mismatch (truncated file,
+/// edited bytes, missing member, unsupported version) fails with a Status
+/// naming the offending member.
+Result<RunBundle> LoadRunBundle(const std::string& dir);
+
+}  // namespace obs
+}  // namespace malleus
+
+#endif  // MALLEUS_OBS_BUNDLE_H_

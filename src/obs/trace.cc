@@ -11,7 +11,9 @@ namespace {
 
 // Microseconds with fixed sub-ns precision: deterministic text for
 // deterministic inputs, and fine-grained enough for any simulated span.
-std::string FormatMicros(double us) { return StrFormat("%.4f", us); }
+// Routed through the shared JSON helper so a non-finite timestamp (a bug
+// upstream) degrades to `null` instead of invalid JSON.
+std::string FormatMicros(double us) { return JsonFixed(us, 4); }
 
 void AppendArgs(const std::vector<TraceArg>& args, std::string* out) {
   *out += "{";

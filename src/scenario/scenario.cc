@@ -248,5 +248,32 @@ Result<ResolvedScenario> ResolveScenario(const ScenarioSpec& spec) {
   return out;
 }
 
+Result<std::vector<LabeledSituation>> ImpliedSituations(
+    const ResolvedScenario& resolved) {
+  std::vector<LabeledSituation> situations;
+  if (resolved.has_overlay) {
+    situations.push_back({"overlay", resolved.overlay});
+  } else if (!resolved.trace.empty()) {
+    std::vector<straggler::SituationId> seen;
+    for (const straggler::TracePhase& phase : resolved.trace) {
+      bool duplicate = false;
+      for (straggler::SituationId id : seen) {
+        if (id == phase.id) duplicate = true;
+      }
+      if (duplicate) continue;
+      seen.push_back(phase.id);
+      Result<straggler::Situation> situation =
+          straggler::Situation::Canonical(resolved.cluster, phase.id);
+      if (!situation.ok()) return situation.status();
+      situations.push_back({straggler::SituationName(phase.id),
+                            std::move(*situation)});
+    }
+  } else {
+    situations.push_back(
+        {"Normal", straggler::Situation(resolved.cluster.num_gpus())});
+  }
+  return situations;
+}
+
 }  // namespace scenario
 }  // namespace malleus

@@ -98,6 +98,19 @@ struct ResolvedScenario {
 /// names, out-of-range GPU ids, or an invalid net model.
 Result<ResolvedScenario> ResolveScenario(const ScenarioSpec& spec);
 
+/// One labeled straggler situation the scenario implies.
+struct LabeledSituation {
+  std::string label;  ///< "overlay", "Normal", "S1", ...
+  straggler::Situation situation;
+};
+
+/// The situations `resolved` implies, deduplicated in first-appearance
+/// order: the custom overlay when present, else one per distinct trace
+/// phase, else the all-healthy "Normal". Shared by the golden-snapshot
+/// renderer and the what-if engine so both enumerate identically.
+Result<std::vector<LabeledSituation>> ImpliedSituations(
+    const ResolvedScenario& resolved);
+
 /// Maps a model name ("32b"/"70b"/"110b"/"tiny") to its spec.
 Result<model::ModelSpec> ModelSpecByName(const std::string& name);
 

@@ -23,29 +23,11 @@ Result<std::string> RenderGoldenSnapshot(
 
   // The situations the scenario implies, labeled and deduplicated in
   // first-appearance order (re-planning an already-seen phase would only
-  // duplicate bytes).
-  std::vector<std::pair<std::string, straggler::Situation>> situations;
-  if (resolved->has_overlay) {
-    situations.emplace_back("overlay", resolved->overlay);
-  } else if (!resolved->trace.empty()) {
-    std::vector<straggler::SituationId> seen;
-    for (const straggler::TracePhase& phase : resolved->trace) {
-      bool duplicate = false;
-      for (straggler::SituationId id : seen) {
-        if (id == phase.id) duplicate = true;
-      }
-      if (duplicate) continue;
-      seen.push_back(phase.id);
-      Result<straggler::Situation> situation =
-          straggler::Situation::Canonical(cluster, phase.id);
-      if (!situation.ok()) return situation.status();
-      situations.emplace_back(straggler::SituationName(phase.id),
-                              std::move(*situation));
-    }
-  } else {
-    situations.emplace_back("Normal",
-                            straggler::Situation(cluster.num_gpus()));
-  }
+  // duplicate bytes). Shared with the what-if engine so both enumerate
+  // identically.
+  Result<std::vector<scenario::LabeledSituation>> situations =
+      scenario::ImpliedSituations(*resolved);
+  if (!situations.ok()) return situations.status();
 
   std::string out;
   out += "# malleus golden snapshot (regenerate: malleus_golden "
@@ -55,7 +37,7 @@ Result<std::string> RenderGoldenSnapshot(
   const core::Planner planner(cluster, cost);
   core::PlannerOptions options;
   options.num_threads = 1;
-  for (const auto& [label, situation] : situations) {
+  for (const auto& [label, situation] : *situations) {
     out += StrFormat("== situation %s ==\n", label.c_str());
     const Result<core::PlanResult> result =
         planner.Plan(situation, spec.batch, options);

@@ -16,6 +16,7 @@
 #include "sim/pipeline_sim.h"
 #include "straggler/situation.h"
 #include "topology/cluster.h"
+#include "whatif/whatif.h"
 
 namespace malleus {
 namespace testkit {
@@ -402,6 +403,53 @@ OracleOutcome RunOracles(const scenario::ScenarioSpec& spec,
                               "%.17g s -> %.17g s (expected %.17g s)",
                               net::NetModelName(m), t_base, t_fast,
                               t_base / 2.0));
+      }
+    }
+  }
+
+  // ----- whatif.remove-straggler-monotone ---------------------------------
+  //
+  // The counterfactual-grid oracle: replaying the FIXED chosen plan with
+  // one injected straggler healed must never attribute a negative span —
+  // i.e. the replayed step cannot get slower when a rate improves. Exact
+  // under the analytic model (the 1F1B event DAG's longest path is
+  // monotone in task durations, and isolated transfer times do not depend
+  // on rates); the flow model is deliberately excluded because max–min
+  // bandwidth sharing is not provably monotone.
+  {
+    const std::vector<topo::GpuId> stragglers = situation.Stragglers();
+    if (!stragglers.empty()) {
+      ctx.Ran("whatif.remove-straggler-monotone");
+      const Result<whatif::ReplayResult> baseline_replay =
+          whatif::ReplayPlanStep(cluster, cost, p, situation,
+                                 net::NetModel::kAnalytic, spec.seed);
+      if (!baseline_replay.ok()) {
+        ctx.Violate("whatif.remove-straggler-monotone",
+                    StrFormat("baseline replay failed: %s",
+                              baseline_replay.status().ToString().c_str()));
+      } else {
+        for (topo::GpuId g : stragglers) {
+          straggler::Situation healed = situation;
+          healed.SetRate(g, 1.0);
+          const Result<whatif::ReplayResult> replay =
+              whatif::ReplayPlanStep(cluster, cost, p, healed,
+                                     net::NetModel::kAnalytic, spec.seed);
+          if (!replay.ok()) {
+            ctx.Violate("whatif.remove-straggler-monotone",
+                        StrFormat("replay with GPU %d healed failed: %s", g,
+                                  replay.status().ToString().c_str()));
+            continue;
+          }
+          if (replay->step_seconds >
+              baseline_replay->step_seconds * (1.0 + kExactRelTol)) {
+            ctx.Violate(
+                "whatif.remove-straggler-monotone",
+                StrFormat("healing straggler GPU %d SLOWED the replayed "
+                          "step: %.17g s -> %.17g s",
+                          g, baseline_replay->step_seconds,
+                          replay->step_seconds));
+          }
+        }
       }
     }
   }

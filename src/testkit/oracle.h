@@ -33,6 +33,15 @@
 //     metamorphic.bandwidth-scaling          scaling every link bandwidth
 //                                            by k scales zero-latency comm
 //                                            terms by exactly 1/k
+//     whatif.remove-straggler-monotone       the what-if engine's fixed-plan
+//                                            replay under the analytic model
+//                                            never gets SLOWER when an
+//                                            injected straggler is removed
+//                                            (1F1B event times are monotone
+//                                            in task durations; analytic
+//                                            only — max–min sharing under
+//                                            the flow model is not provably
+//                                            monotone)
 //
 //   simulator invariants:
 //     sim.invariants            finite, nonnegative span times; step time

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "model/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -271,6 +272,38 @@ TEST(MetricsRegistryTest, ExportsAndReset) {
   EXPECT_EQ(reg.GetHistogram("planner.solve_seconds")->Count(), 0);
 }
 
+TEST(MetricsRegistryTest, HistogramJsonCarriesQuantileValues) {
+  // The JSON render must expose p50/p95/p99 as numbers consistent with
+  // the histogram's own quantile estimates — bench harnesses parse these
+  // fields out of metrics.json snapshots.
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("whatif.replay_seconds");
+  for (int i = 1; i <= 100; ++i) h->Observe(i * 0.001);
+  const HistogramSnapshot snap = h->Snapshot();
+
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  for (const char* key : {"\"count\":100", "\"p50\":", "\"p95\":",
+                          "\"p99\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  // The rendered values are the snapshot's values, byte-exact.
+  EXPECT_NE(json.find(StrFormat("\"p50\":%s", JsonNumber(snap.p50).c_str())),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find(StrFormat("\"p95\":%s", JsonNumber(snap.p95).c_str())),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find(StrFormat("\"p99\":%s", JsonNumber(snap.p99).c_str())),
+            std::string::npos)
+      << json;
+  // Sanity: the quantiles bracket the data and are ordered.
+  EXPECT_GE(snap.p50, 0.001);
+  EXPECT_LE(snap.p99, 0.1 * 1.5);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+}
+
 TEST(MetricsRegistryTest, NonFiniteValuesExportAsJsonNull) {
   // A gauge fed a NaN/Inf (e.g. a ratio over a zero denominator) must not
   // corrupt the JSON export; the registry renders such values as null.
@@ -358,9 +391,37 @@ TEST(TraceRecorderTest, ChromeJsonShape) {
 TEST(TraceRecorderTest, EscapesNamesInJson) {
   TraceRecorder rec;
   rec.AddSpan("odd \"name\"\nwith\tcontrol", "c,at",
-              rec.Track("p\"d", "t\\d"), 0.0, 1.0, {});
+              rec.Track("p\"d", "t\\d"), 0.0, 1.0,
+              {TraceArg::Str("note", "line1\r\nline2 \x01")});
   const std::string json = rec.ToChromeTraceJson();
   EXPECT_TRUE(IsValidJson(json)) << json;
+  // Quotes, backslashes and control characters in span/track names and
+  // string args must come out escaped — a raw newline inside a JSON
+  // string literal breaks chrome://tracing imports.
+  EXPECT_NE(json.find("odd \\\"name\\\"\\nwith\\tcontrol"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("p\\\"d"), std::string::npos) << json;
+  EXPECT_NE(json.find("t\\\\d"), std::string::npos) << json;
+  EXPECT_NE(json.find("line1\\r\\nline2 \\u0001"), std::string::npos)
+      << json;
+  for (char c : json) {
+    EXPECT_NE(c, '\x01');
+  }
+}
+
+TEST(TraceRecorderTest, NonAsciiNamesPassThroughUtf8) {
+  // UTF-8 multi-byte sequences are legal JSON string bytes and must pass
+  // through unescaped (Perfetto renders them as-is).
+  TraceRecorder rec;
+  rec.AddSpan("stage \xc3\xa9tape \xe6\xae\xb5", "compute",
+              rec.Track("n\xc5\x93ud 0", "GPU 0"), 0.0, 0.5, {});
+  const std::string json = rec.ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("stage \xc3\xa9tape \xe6\xae\xb5"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("n\xc5\x93ud 0"), std::string::npos) << json;
 }
 
 class SimTraceTest : public ::testing::Test {

@@ -20,6 +20,10 @@
 #   tools/check.sh --lint      # static-analysis gate (see below)
 #   tools/check.sh --fuzz      # 200-run oracle fuzz under ASan/UBSan,
 #                              #   once per --net-model (analytic, flow)
+#   tools/check.sh --whatif    # record every example scenario as a bundle
+#                              #   and sweep it with malleus_whatif under
+#                              #   ASan/UBSan, once per net model, checking
+#                              #   byte-identical repeat reports
 #
 # Fuzz preset (--fuzz) — the seeded scenario fuzzer (tools/malleus_fuzz,
 # DESIGN.md §11) over 200 runs per net model, in the ASan/UBSan build, so
@@ -50,6 +54,7 @@ for arg in "$@"; do
     --tsan) MODE=tsan ;;
     --lint) MODE=lint ;;
     --fuzz) MODE=fuzz ;;
+    --whatif) MODE=whatif ;;
     --fast) FAST=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -161,6 +166,39 @@ if [[ "$MODE" == "fuzz" ]]; then
   run_fuzz 200
   echo "OK: 2x200 fuzz runs clean under ASan/UBSan" \
        "(analytic + flow net models, seed $FUZZ_SEED)"
+  exit 0
+fi
+
+if [[ "$MODE" == "whatif" ]]; then
+  # Record-and-sweep every shipped scenario in the instrumented build so
+  # the whole bundle + what-if pipeline (scenario_cli --record-out,
+  # LoadRunBundle, the counterfactual sweep, both report renderers) runs
+  # under ASan/UBSan, once per net model. Each bundle is swept twice and
+  # the ranked JSON/CSV reports must come out byte-identical.
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target scenario_cli malleus_whatif_tool
+  out_dir="$BUILD_DIR/whatif-out"
+  mkdir -p "$out_dir"
+  for net_model in analytic flow; do
+    for scenario in examples/scenarios/*.scenario; do
+      name=$(basename "$scenario" .scenario)
+      bundle="$out_dir/$name-$net_model"
+      rm -rf "$bundle"
+      echo "== record + sweep $name (MALLEUS_NET_MODEL=$net_model) =="
+      MALLEUS_NET_MODEL="$net_model" "$BUILD_DIR/examples/scenario_cli" \
+        --scenario="$scenario" --record-out="$bundle" >/dev/null
+      MALLEUS_NET_MODEL="$net_model" "$BUILD_DIR/tools/malleus_whatif" \
+        "$bundle" --auto-grid --verify-snapshot --top=3 \
+        --report-out="$bundle.a.json" --csv-out="$bundle.a.csv"
+      MALLEUS_NET_MODEL="$net_model" "$BUILD_DIR/tools/malleus_whatif" \
+        "$bundle" --auto-grid --top=0 \
+        --report-out="$bundle.b.json" --csv-out="$bundle.b.csv" >/dev/null
+      cmp "$bundle.a.json" "$bundle.b.json"
+      cmp "$bundle.a.csv" "$bundle.b.csv"
+    done
+  done
+  echo "OK: recorded + swept every example scenario under ASan/UBSan" \
+       "(analytic + flow net models, byte-identical repeat reports)"
   exit 0
 fi
 

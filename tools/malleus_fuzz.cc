@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "net/fabric.h"
 #include "scenario/scenario.h"
@@ -95,17 +96,6 @@ testkit::OracleOptions ToOracleOptions(const Args& args) {
                                                    : net::NetModel::kAnalytic;
   options.inject_perturb_estimate = args.inject_perturb_estimate;
   return options;
-}
-
-// FNV-1a, the conventional tiny non-cryptographic hash; enough to compare
-// two runs' reports without diffing the bytes.
-uint64_t Fnv1a(const std::string& bytes) {
-  uint64_t h = 0xCBF29CE484222325ULL;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= 0x100000001B3ULL;
-  }
-  return h;
 }
 
 bool WriteFile(const std::string& path, const std::string& content) {
@@ -245,7 +235,7 @@ int Fuzz(const Args& args) {
     std::printf("  %-42s %5d run(s) %3d violation(s)\n", oracle.c_str(),
                 runs, it == oracle_violations.end() ? 0 : it->second);
   }
-  std::printf("report-hash: %016" PRIx64 "\n", Fnv1a(report));
+  std::printf("report-hash: %016" PRIx64 "\n", Fnv1a64(report));
   if (io_failed) return 2;
   return records.empty() ? 0 : 1;
 }

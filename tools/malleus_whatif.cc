@@ -1,0 +1,250 @@
+// malleus_whatif: offline what-if attribution over a recorded-run bundle.
+//
+//   $ ./examples/scenario_cli --scenario=straggle_s3.scenario \
+//         --record-out=/tmp/run
+//   $ ./tools/malleus_whatif /tmp/run --auto-grid --top=10 \
+//         --report-out=report.json --csv-out=report.csv
+//
+// Loads the bundle (manifest-verified: a truncated or edited member fails
+// cleanly), re-derives the recorded plan from its scenario, sweeps a
+// counterfactual grid — heal/dampen each straggler, scale NIC/NVLink
+// bandwidth, pin the planner's TP degree, add standby nodes, swap the
+// network cost model — and prints the causes ranked by seconds of step
+// time attributed to each. The JSON and CSV reports are byte-identical
+// across repeat invocations at any --threads value.
+//
+// Exit status: 0 = sweep completed, 1 = bad bundle / failed sweep / failed
+// output write, 2 = bad usage.
+//
+// Flags:
+//   --grid=FILE        counterfactual grid, one per line (see
+//                      scenario/counterfactual.h for the grammar)
+//   --auto-grid[=full] build the standard grid for the recorded situation;
+//                      `full` additionally sweeps removals AND dampenings
+//                      over every GPU (a 64-GPU bundle yields 250+
+//                      counterfactuals). Default when --grid is absent.
+//   --phase=LABEL      situation to attribute ("overlay", "Normal", "S3",
+//                      ...); default: the implied situation with the most
+//                      stragglers
+//   --report-out=FILE  write the ranked report as JSON
+//   --csv-out=FILE     write the ranked report as RFC 4180 CSV
+//   --threads=N        sweep workers (0 = hardware default); report bytes
+//                      are identical at every value
+//   --no-replan        attribute straggler/bandwidth edits by fixed-plan
+//                      replay alone instead of the better of replay and
+//                      re-plan (force_tp / add_standby_node still re-plan)
+//   --top=N            rows to print in the text table (0 = all)
+//   --verify-snapshot  re-render the scenario's golden snapshot and require
+//                      it to match the bundle's snapshot member byte for
+//                      byte (catches bundles recorded by a drifted build)
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bundle.h"
+#include "obs/report.h"
+#include "scenario/counterfactual.h"
+#include "testkit/golden.h"
+#include "whatif/whatif.h"
+
+using namespace malleus;
+
+namespace {
+
+struct Args {
+  std::string bundle_dir;
+  std::string grid_file;
+  bool auto_grid_full = false;
+  std::string phase;
+  std::string report_out;
+  std::string csv_out;
+  int threads = 0;
+  bool replan = true;
+  int top = 10;
+  bool verify_snapshot = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--grid=", 0) == 0) {
+      out->grid_file = arg.substr(7);
+    } else if (arg == "--auto-grid") {
+      // The default; accepted for explicitness.
+    } else if (arg == "--auto-grid=full") {
+      out->auto_grid_full = true;
+    } else if (arg.rfind("--phase=", 0) == 0) {
+      out->phase = arg.substr(8);
+    } else if (arg.rfind("--report-out=", 0) == 0) {
+      out->report_out = arg.substr(13);
+    } else if (arg.rfind("--csv-out=", 0) == 0) {
+      out->csv_out = arg.substr(10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      out->threads = std::atoi(arg.c_str() + 10);
+      if (out->threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        return false;
+      }
+    } else if (arg == "--no-replan") {
+      out->replan = false;
+    } else if (arg.rfind("--top=", 0) == 0) {
+      out->top = std::atoi(arg.c_str() + 6);
+    } else if (arg == "--verify-snapshot") {
+      out->verify_snapshot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else if (out->bundle_dir.empty()) {
+      out->bundle_dir = arg;
+    } else {
+      std::fprintf(stderr, "more than one bundle directory given\n");
+      return false;
+    }
+  }
+  if (out->bundle_dir.empty()) {
+    std::fprintf(stderr, "missing bundle directory\n");
+    return false;
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: %s BUNDLE_DIR [--grid=FILE | --auto-grid[=full]] "
+        "[--phase=LABEL] [--report-out=FILE] [--csv-out=FILE] "
+        "[--threads=N] [--no-replan] [--top=N] [--verify-snapshot]\n",
+        argv[0]);
+    return 2;
+  }
+
+  Result<obs::RunBundle> bundle = obs::LoadRunBundle(args.bundle_dir);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "cannot load bundle %s: %s\n",
+                 args.bundle_dir.c_str(),
+                 bundle.status().ToString().c_str());
+    return 1;
+  }
+  Result<whatif::RecordedRun> run =
+      whatif::LoadRecordedRun(*bundle, args.bundle_dir);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.verify_snapshot) {
+    const std::string* recorded = bundle->Find(obs::kBundleSnapshotName);
+    if (recorded == nullptr) {
+      std::fprintf(stderr, "bundle has no %s member to verify\n",
+                   obs::kBundleSnapshotName);
+      return 1;
+    }
+    Result<std::string> rendered = testkit::RenderGoldenSnapshot(run->spec);
+    if (!rendered.ok()) {
+      std::fprintf(stderr, "snapshot re-render failed: %s\n",
+                   rendered.status().ToString().c_str());
+      return 1;
+    }
+    if (*rendered != *recorded) {
+      std::fprintf(stderr,
+                   "snapshot drift: this build renders a different golden "
+                   "snapshot than the bundle recorded\n");
+      return 1;
+    }
+    std::printf("snapshot verified: %zu bytes identical\n",
+                recorded->size());
+  }
+
+  std::vector<scenario::Counterfactual> grid;
+  if (!args.grid_file.empty()) {
+    std::string text;
+    if (!ReadFile(args.grid_file, &text)) {
+      std::fprintf(stderr, "cannot read grid file %s\n",
+                   args.grid_file.c_str());
+      return 1;
+    }
+    Result<std::vector<scenario::Counterfactual>> parsed =
+        scenario::ParseCounterfactualGrid(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.grid_file.c_str(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    grid = std::move(*parsed);
+  } else {
+    Result<scenario::LabeledSituation> analyzed =
+        whatif::AnalyzedSituation(*run, args.phase);
+    if (!analyzed.ok()) {
+      std::fprintf(stderr, "%s\n", analyzed.status().ToString().c_str());
+      return 1;
+    }
+    scenario::DefaultGridOptions gopts;
+    gopts.dampen_all_gpus = args.auto_grid_full;
+    grid = scenario::DefaultCounterfactualGrid(
+        run->resolved.cluster, analyzed->situation, run->resolved.net_model,
+        gopts);
+  }
+  if (grid.empty()) {
+    std::fprintf(stderr, "the counterfactual grid is empty\n");
+    return 1;
+  }
+
+  whatif::WhatIfOptions options;
+  options.num_threads = args.threads;
+  options.replan = args.replan;
+  options.phase = args.phase;
+  Result<obs::AttributionReport> report =
+      whatif::RunWhatIf(*run, grid, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s", obs::RenderAttributionText(*report, args.top).c_str());
+
+  int rc = 0;
+  if (!args.report_out.empty()) {
+    if (WriteFile(args.report_out, obs::RenderAttributionJson(*report))) {
+      std::printf("wrote JSON report (%zu causes) to %s\n",
+                  report->rows.size(), args.report_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.report_out.c_str());
+      rc = 1;
+    }
+  }
+  if (!args.csv_out.empty()) {
+    if (WriteFile(args.csv_out, obs::RenderAttributionCsv(*report))) {
+      std::printf("wrote CSV report to %s\n", args.csv_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.csv_out.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
