@@ -43,6 +43,7 @@
 //                       so tools/malleus_whatif can verify and replay the
 //                       run offline
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +57,7 @@
 #include "baselines/trace_runner.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "core/cache_codec.h"
 #include "core/run_log.h"
 #include "core/scenario_lint.h"
 #include "lint/lint.h"
@@ -64,6 +66,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "scenario/scenario.h"
+#include "solver/cache_io.h"
+#include "solver/solve_cache.h"
 #include "testkit/golden.h"
 
 using namespace malleus;
@@ -86,6 +90,10 @@ struct Args {
   std::string csv_out;
   std::string record_out;
   std::string scenario_file;
+  /// Solver-cache persistence in the daemon's file format (solver/cache_io),
+  /// so one-shot runs share malleus_served's --cache-save/--cache-load files.
+  std::string cache_load;
+  std::string cache_save;
   /// Custom straggler overlay carried over from --scenario, so a recorded
   /// bundle round-trips the whole file (the trace run itself only plays
   /// the phases; the overlay is what the what-if engine analyzes).
@@ -184,6 +192,10 @@ bool ParseArgs(int argc, char** argv, Args* out) {
         return false;
       }
       out->net_model = *model;
+    } else if (const char* v = value("--cache-load=")) {
+      out->cache_load = v;
+    } else if (const char* v = value("--cache-save=")) {
+      out->cache_save = v;
     } else if (const char* v = value("--planner-threads=")) {
       out->planner_threads = std::atoi(v);
       if (out->planner_threads < 0) {
@@ -257,6 +269,7 @@ int main(int argc, char** argv) {
                  "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
                  "[--seed=S] [--net-model=analytic|flow] "
                  "[--planner-threads=N] [--baselines] "
+                 "[--cache-load=FILE] [--cache-save=FILE] "
                  "[--trace-out=FILE] "
                  "[--metrics-out=FILE] [--events-out=FILE] "
                  "[--csv-out=FILE] [--record-out=DIR]\n",
@@ -332,8 +345,10 @@ int main(int argc, char** argv) {
   if (!args.trace_out.empty() || !args.record_out.empty()) {
     eng.sim.trace = &trace_recorder;
   }
-  frameworks.push_back(
-      std::make_unique<baselines::MalleusFramework>(cluster, cost, eng));
+  auto malleus_fw =
+      std::make_unique<baselines::MalleusFramework>(cluster, cost, eng);
+  baselines::MalleusFramework* malleus = malleus_fw.get();
+  frameworks.push_back(std::move(malleus_fw));
   if (args.baselines) {
     baselines::MegatronOptions mo;
     mo.seed = args.seed;
@@ -343,6 +358,42 @@ int main(int argc, char** argv) {
     dso.seed = args.seed;
     frameworks.push_back(
         std::make_unique<baselines::DeepSpeedBaseline>(cluster, cost, dso));
+  }
+
+  // Warm-load the Malleus planner's solve cache from a daemon-format cache
+  // file. Any failure (missing file, no matching section, corrupt bytes)
+  // downgrades to a cold start — persistence must never fail a run.
+  const uint64_t cache_fp = core::PlannerCacheFingerprint(cluster, cost);
+  if (!args.cache_load.empty()) {
+    Result<std::vector<solver::CacheFileSection>> sections =
+        solver::ReadCacheFile(args.cache_load);
+    if (!sections.ok()) {
+      std::fprintf(stderr, "cache load: %s (cold start)\n",
+                   sections.status().ToString().c_str());
+    } else {
+      solver::SolveCache& cache = malleus->engine().planner().solve_cache();
+      bool matched = false;
+      for (const solver::CacheFileSection& section : *sections) {
+        if (section.fingerprint != cache_fp) continue;
+        matched = true;
+        const Status status =
+            cache.Deserialize(section.blob, core::OrchestrationCacheCodec());
+        if (!status.ok()) {
+          std::fprintf(stderr, "cache load: %s (cold start)\n",
+                       status.ToString().c_str());
+        } else {
+          std::printf("warm solve cache: %zu entries from %s\n",
+                      cache.size(), args.cache_load.c_str());
+        }
+        break;
+      }
+      if (!matched) {
+        std::fprintf(stderr,
+                     "cache load: %s has no section for this cluster/model "
+                     "(cold start)\n",
+                     args.cache_load.c_str());
+      }
+    }
   }
 
   TablePrinter table("per-phase mean step seconds");
@@ -409,6 +460,40 @@ int main(int argc, char** argv) {
       std::printf("wrote run log CSV to %s\n", args.csv_out.c_str());
     } else {
       rc = 1;
+    }
+  }
+  if (!args.cache_save.empty()) {
+    // Merge with an existing file: replace this cluster/model's section,
+    // carry every other section forward (same policy as malleus_served).
+    std::vector<solver::CacheFileSection> sections;
+    Result<std::vector<solver::CacheFileSection>> existing =
+        solver::ReadCacheFile(args.cache_save);
+    if (existing.ok()) {
+      for (solver::CacheFileSection& section : *existing) {
+        if (section.fingerprint != cache_fp) {
+          sections.push_back(std::move(section));
+        }
+      }
+    }
+    solver::CacheFileSection section;
+    section.fingerprint = cache_fp;
+    section.label = StrFormat("scenario_cli %s nodes=%d",
+                              args.model.c_str(), args.nodes);
+    section.blob = malleus->engine().planner().solve_cache().Serialize(
+        core::OrchestrationCacheCodec());
+    sections.push_back(std::move(section));
+    std::sort(sections.begin(), sections.end(),
+              [](const solver::CacheFileSection& a,
+                 const solver::CacheFileSection& b) {
+                return a.fingerprint < b.fingerprint;
+              });
+    const Status status = solver::WriteCacheFile(args.cache_save, sections);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cache save: %s\n", status.ToString().c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote solve cache (%zu sections) to %s\n",
+                  sections.size(), args.cache_save.c_str());
     }
   }
   if (!args.record_out.empty()) {

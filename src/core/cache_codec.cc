@@ -1,0 +1,120 @@
+#include "core/cache_codec.h"
+
+#include <memory>
+#include <string>
+
+#include "common/hash.h"
+
+namespace malleus {
+namespace core {
+
+namespace {
+
+using solver::wire::PutDouble;
+using solver::wire::PutInts;
+using solver::wire::PutString;
+using solver::wire::PutU32;
+using solver::wire::PutU64;
+using solver::wire::Reader;
+
+void EncodeStatus(const Status& status, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(status.code()));
+  PutString(out, status.message());
+}
+
+bool DecodeStatus(Reader* reader, Status* status) {
+  uint32_t code;
+  std::string message;
+  if (!reader->U32(&code) || !reader->String(&message)) return false;
+  if (code > static_cast<uint32_t>(StatusCode::kNotImplemented)) return false;
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return true;
+}
+
+void EncodeLayers(const void* value, std::string* out) {
+  const auto& entry = *static_cast<const CachedLayers*>(value);
+  EncodeStatus(entry.status, out);
+  PutInts(out, entry.assignment.layers);
+  PutDouble(out, entry.assignment.bottleneck);
+}
+
+std::shared_ptr<const void> DecodeLayers(const char* data, size_t size) {
+  Reader reader(data, size);
+  auto entry = std::make_shared<CachedLayers>();
+  if (!DecodeStatus(&reader, &entry->status) ||
+      !reader.Ints(&entry->assignment.layers) ||
+      !reader.Double(&entry->assignment.bottleneck) ||
+      !reader.AtEnd()) {
+    return nullptr;
+  }
+  return entry;
+}
+
+void EncodeOrchestration(const void* value, std::string* out) {
+  const auto& entry = *static_cast<const CachedOrchestration*>(value);
+  EncodeStatus(entry.status, out);
+  const OrchestrationResult& r = entry.result;
+  PutU32(out, static_cast<uint32_t>(r.pipelines.size()));
+  for (const OrchestratedPipeline& p : r.pipelines) {
+    PutInts(out, p.group_indices);
+    PutInts(out, p.layers);
+    PutDouble(out, p.bottleneck);
+  }
+  PutInts(out, r.removed_groups);
+  PutU32(out, r.division_exact ? 1 : 0);
+  PutU64(out, static_cast<uint64_t>(r.division_nodes));
+  // Solver wall times are a property of the filling run, not the solution;
+  // replays report zero anyway (see Orchestrate), so they are not stored.
+}
+
+std::shared_ptr<const void> DecodeOrchestration(const char* data,
+                                                size_t size) {
+  Reader reader(data, size);
+  auto entry = std::make_shared<CachedOrchestration>();
+  if (!DecodeStatus(&reader, &entry->status)) return nullptr;
+  OrchestrationResult& r = entry->result;
+  uint32_t num_pipelines;
+  if (!reader.U32(&num_pipelines)) return nullptr;
+  for (uint32_t i = 0; i < num_pipelines; ++i) {
+    OrchestratedPipeline p;
+    if (!reader.Ints(&p.group_indices) || !reader.Ints(&p.layers) ||
+        !reader.Double(&p.bottleneck)) {
+      return nullptr;
+    }
+    r.pipelines.push_back(std::move(p));
+  }
+  uint32_t exact;
+  uint64_t nodes;
+  if (!reader.Ints(&r.removed_groups) || !reader.U32(&exact) ||
+      !reader.U64(&nodes) || !reader.AtEnd()) {
+    return nullptr;
+  }
+  if (exact > 1) return nullptr;
+  r.division_exact = exact == 1;
+  r.division_nodes = static_cast<int64_t>(nodes);
+  r.division_seconds = 0.0;
+  r.ordering_seconds = 0.0;
+  return entry;
+}
+
+}  // namespace
+
+const solver::CacheCodec& OrchestrationCacheCodec() {
+  static const solver::CacheCodec* codec = [] {
+    auto* c = new solver::CacheCodec();
+    c->Register('L', EncodeLayers, DecodeLayers);
+    c->Register('O', EncodeOrchestration, DecodeOrchestration);
+    return c;
+  }();
+  return *codec;
+}
+
+uint64_t PlannerCacheFingerprint(const topo::ClusterSpec& cluster,
+                                 const model::CostModel& cost) {
+  uint64_t h = Fnv1a64(cluster.ToString());
+  h = Fnv1a64(cost.spec().ToString(), h);
+  return h;
+}
+
+}  // namespace core
+}  // namespace malleus

@@ -1,0 +1,60 @@
+// Serialization codec for the planner's SolveCache entries, and the
+// fingerprint that binds a persisted cache to its planner context.
+//
+// The cache value types ('L' layer-assignment solves and 'O' whole-
+// orchestration outcomes) are defined here — orchestration.cc fills the
+// cache with them — and the codec teaches solver::SolveCache::Serialize/
+// Deserialize their byte encodings, so a daemon or CLI can warm-load a
+// planner across process restarts (solver/cache_io.h is the file format).
+//
+// A SolveCache is only meaningful for one cost model (see solve_cache.h's
+// keying contract), so persisted caches carry PlannerCacheFingerprint —
+// a hash of the cluster and model-spec descriptions — and loaders must
+// match it before deserializing.
+
+#ifndef MALLEUS_CORE_CACHE_CODEC_H_
+#define MALLEUS_CORE_CACHE_CODEC_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/orchestration.h"
+#include "core/work_assignment.h"
+#include "model/cost_model.h"
+#include "solver/solve_cache.h"
+#include "topology/cluster.h"
+
+namespace malleus {
+namespace core {
+
+/// Cache value of one Eq. (2) layer solve (CacheKey tag 'L'). Stores the
+/// full Result: infeasible subproblems recur across the b x dp sweep just
+/// like feasible ones, and replaying the original Status keeps cached and
+/// uncached runs byte-identical.
+struct CachedLayers {
+  Status status;
+  LayerAssignment assignment;
+};
+
+/// Cache value of one whole-Orchestrate outcome (CacheKey tag 'O').
+struct CachedOrchestration {
+  Status status;
+  OrchestrationResult result;
+};
+
+/// The codec covering the planner's cache entry kinds ('L' and 'O').
+/// Returned by reference to a process-lifetime instance; callers that add
+/// their own entry kinds (e.g. serve's plan-response memo) copy it and
+/// Register more tags.
+const solver::CacheCodec& OrchestrationCacheCodec();
+
+/// Hash binding a cache to the planner context that filled it: the cluster
+/// and cost-model descriptions. Matching fingerprints mean a persisted
+/// cache can be loaded safely; anything else must cold-start.
+uint64_t PlannerCacheFingerprint(const topo::ClusterSpec& cluster,
+                                 const model::CostModel& cost);
+
+}  // namespace core
+}  // namespace malleus
+
+#endif  // MALLEUS_CORE_CACHE_CODEC_H_

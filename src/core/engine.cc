@@ -30,7 +30,7 @@ Status GatePlanDiagnostics(const lint::DiagnosticSink& sink,
     }
   }
   if (first_error != nullptr) {
-    obs::MetricsRegistry::Global()
+    obs::MetricsRegistry::Current()
         .GetCounter("engine.plans_refused")
         ->Increment();
     return Status::InvalidArgument(
@@ -153,7 +153,7 @@ Result<StepReport> MalleusEngine::RecoverFromFailure(
   report.plan_signature = executor_.current_plan().Signature();
   profiler_->AcknowledgeShift();
 
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   registry.GetCounter("engine.replans")->Increment();
   registry.GetCounter("engine.recoveries")->Increment();
   registry.GetHistogram("engine.recovery_seconds")
@@ -220,7 +220,7 @@ Result<StepReport> MalleusEngine::Step(const straggler::Situation& truth) {
   StepReport report;
   report.step_seconds = step->step_seconds;
 
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   registry.GetCounter("engine.steps")->Increment();
   registry.GetHistogram("engine.step_seconds")->Observe(report.step_seconds);
 

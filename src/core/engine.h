@@ -89,6 +89,12 @@ class MalleusEngine {
   }
   const Profiler& profiler() const { return *profiler_; }
 
+  /// The engine's planner (and through it the solve cache). Mutable access
+  /// exists so hosts can warm or persist the cache around the engine's own
+  /// replans (scenario_cli --cache-save/--cache-load, malleus::serve).
+  Planner& planner() { return planner_; }
+  const Planner& planner() const { return planner_; }
+
  private:
   /// Devices not participating in training under the current plan.
   std::vector<topo::GpuId> InactiveGpus() const;

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/cache_codec.h"
 #include "core/work_assignment.h"
 #include "solver/division.h"
 
@@ -34,18 +35,8 @@ std::vector<int> StagesForSizeOrder(
   return stages;
 }
 
-// Cache value types. Both store the full Result: infeasible subproblems
-// recur across the b x dp sweep just like feasible ones, and replaying the
-// original Status keeps cached and uncached runs byte-identical.
-struct CachedLayers {
-  Status status;
-  LayerAssignment assignment;
-};
-
-struct CachedOrchestration {
-  Status status;
-  OrchestrationResult result;
-};
+// The cache value types CachedLayers / CachedOrchestration live in
+// core/cache_codec.h so the persistence codec can name them too.
 
 // Solves Eq. (2) for one ordered stage profile, memoized by the profile.
 // The same (rates, sizes, b, DP) quadruple is solved for every pipeline

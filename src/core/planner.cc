@@ -248,7 +248,12 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
   // cost model, situation, groupings) are read-only, and the solve cache
   // is internally synchronized.
   std::vector<CandidateOutcome> outcomes(candidates.size());
-  const auto evaluate = [&](int64_t i) {
+  // Pool workers start with no MetricsScope of their own, so re-install the
+  // caller's registry inside each task — solver metrics recorded off-thread
+  // then land in the same registry as this Plan() call's own series.
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::Current();
+  const auto evaluate = [&, metrics](int64_t i) {
+    obs::MetricsScope metrics_scope(metrics);
     outcomes[i] = EvaluateCandidate(candidates[i], cluster_, cost_,
                                     situation, options, solve_cache);
   };
@@ -304,7 +309,7 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
   timings.total_seconds = Elapsed(t_total);
 
   const solver::SolveCache::Stats cache_after = solve_cache_.stats();
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   registry.GetCounter("planner.solves")->Increment();
   registry.GetCounter("planner.candidates_explored")
       ->Increment(static_cast<double>(candidates.size()));

@@ -19,7 +19,7 @@ void Profiler::Update(topo::GpuId gpu, double normalized) {
   if (estimate_.IsFailed(gpu)) return;  // Only probes can clear failure.
   if (std::fabs(normalized - 1.0) < options_.healthy_band) {
     if (normalized != 1.0) {
-      obs::MetricsRegistry::Global()
+      obs::MetricsRegistry::Current()
           .GetCounter("profiler.snap_to_healthy")
           ->Increment();
     }
@@ -68,14 +68,14 @@ void Profiler::RecordStep(const std::vector<double>& measured_rates) {
 
 void Profiler::RecordProbe(topo::GpuId gpu, double measured_rate) {
   if (measured_rate <= 0) return;
-  obs::MetricsRegistry::Global().GetCounter("profiler.probes")->Increment();
+  obs::MetricsRegistry::Current().GetCounter("profiler.probes")->Increment();
   if (estimate_.IsFailed(gpu)) MarkRecovered(gpu);
   Update(gpu, measured_rate);
 }
 
 void Profiler::MarkFailed(topo::GpuId gpu) {
   if (!estimate_.IsFailed(gpu)) {
-    obs::MetricsRegistry::Global()
+    obs::MetricsRegistry::Current()
         .GetCounter("profiler.failures_marked")
         ->Increment();
   }

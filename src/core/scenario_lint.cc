@@ -35,6 +35,12 @@ Status LintScenarioFile(const std::string& path,
                         lint::DiagnosticSink* sink) {
   MALLEUS_ASSIGN_OR_RETURN(scenario::ScenarioSpec spec,
                            scenario::LoadScenarioFile(path));
+  return LintScenarioSpec(spec, options, sink);
+}
+
+Status LintScenarioSpec(const scenario::ScenarioSpec& spec,
+                        const ScenarioLintOptions& options,
+                        lint::DiagnosticSink* sink) {
   lint::LintScenario(spec, sink);
   if (sink->HasErrors()) return Status::OK();  // Resolution would re-fail.
 

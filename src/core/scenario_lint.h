@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "lint/diagnostic.h"
+#include "scenario/scenario.h"
 
 namespace malleus {
 namespace core {
@@ -27,6 +28,13 @@ struct ScenarioLintOptions {
 /// failed lint); semantic problems land in `sink` and leave the Status OK.
 /// Stops before resolution/planning once `sink` holds error diagnostics.
 Status LintScenarioFile(const std::string& path,
+                        const ScenarioLintOptions& options,
+                        lint::DiagnosticSink* sink);
+
+/// Same passes over an already-parsed spec (no file involved). This is the
+/// form malleus::serve uses: its `lint` method receives scenario text over
+/// the wire, never a path on the server's disk.
+Status LintScenarioSpec(const scenario::ScenarioSpec& spec,
                         const ScenarioLintOptions& options,
                         lint::DiagnosticSink* sink);
 

@@ -180,7 +180,7 @@ std::string RenderSarif(const DiagnosticSink& sink,
 
 void RecordDiagnosticMetrics(const DiagnosticSink& sink) {
   if (sink.empty()) return;
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   for (const Diagnostic& d : sink.diagnostics()) {
     registry.GetCounter("lint.diagnostics." + d.code)->Increment();
   }

@@ -225,7 +225,7 @@ std::vector<int64_t> SubmitRing(FlowSim* sim,
 }
 
 void RecordFlowSimMetrics(const FlowSim& sim, const char* prefix) {
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Current();
   const std::string p(prefix);
   registry.GetCounter(p + ".flows")
       ->Increment(static_cast<double>(sim.outcomes().size()));

@@ -138,10 +138,29 @@ void Histogram::Reset() {
   max_ = 0.0;
 }
 
+namespace {
+
+// Innermost MetricsScope override for this thread (null = Global()).
+thread_local MetricsRegistry* current_registry = nullptr;
+
+}  // namespace
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
+
+MetricsRegistry& MetricsRegistry::Current() {
+  return current_registry != nullptr ? *current_registry : Global();
+}
+
+MetricsScope::MetricsScope(MetricsRegistry* registry)
+    : previous_(current_registry) {
+  MALLEUS_CHECK(registry != nullptr) << "MetricsScope requires a registry";
+  current_registry = registry;
+}
+
+MetricsScope::~MetricsScope() { current_registry = previous_; }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -107,8 +107,16 @@ class Histogram {
 /// \brief Name -> metric registry with deterministic (sorted) exports.
 class MetricsRegistry {
  public:
-  /// The process-wide registry everything in-tree records into.
+  /// The process-wide registry. Recording code should prefer Current(),
+  /// which resolves to this unless a MetricsScope overrides it.
   static MetricsRegistry& Global();
+
+  /// The registry the calling thread records into: the innermost
+  /// MetricsScope installed on this thread, or Global(). This is what
+  /// makes the planner/solver/engine stack re-entrant for serving — each
+  /// concurrent request runs under its own scope, so two requests'
+  /// series never interleave in one registry.
+  static MetricsRegistry& Current();
 
   /// Returns the named metric, creating it on first use. Requesting the
   /// same name as two different kinds is a programming error (checked).
@@ -131,6 +139,28 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief Redirects this thread's metric recording to another registry.
+///
+/// RAII and nestable: construction pushes `registry` as the thread's
+/// MetricsRegistry::Current(), destruction restores the previous one.
+/// Thread-local by design — a scope installed on one thread does not
+/// affect others, so code that fans work out to a pool must install a
+/// scope inside each task (core::Planner::Plan does this for its
+/// candidate sweep). Used by malleus::serve to give every in-flight
+/// request its own registry, keyed by request id at the serving layer.
+class MetricsScope {
+ public:
+  /// `registry` must be non-null and outlive the scope.
+  explicit MetricsScope(MetricsRegistry* registry);
+  ~MetricsScope();
+
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
 };
 
 /// Observes the wall-clock lifetime of a scope into a histogram.

@@ -1,0 +1,350 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace malleus {
+namespace serve {
+
+namespace {
+
+// Nesting bound: a hostile request cannot drive the parser's recursion
+// past this many levels (the protocol itself needs three).
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWs();
+    MALLEUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at byte %zu", what, pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Peek(char* c) const {
+    if (pos_ >= text_.size()) return false;
+    *c = text_[pos_];
+    return true;
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    char c;
+    if (!Peek(&c)) return Error("unexpected end of input");
+    switch (c) {
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("invalid literal");
+        return JsonValue::Null();
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("invalid literal");
+        return JsonValue::Bool(true);
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("invalid literal");
+        return JsonValue::Bool(false);
+      case '"': {
+        MALLEUS_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::String(std::move(s));
+      }
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    MALLEUS_CHECK(Consume('['));
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Consume(']')) return JsonValue::Array(std::move(items));
+    while (true) {
+      SkipWs();
+      MALLEUS_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+      items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(']')) return JsonValue::Array(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    MALLEUS_CHECK(Consume('{'));
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Consume('}')) return JsonValue::Object(std::move(members));
+    while (true) {
+      SkipWs();
+      char c;
+      if (!Peek(&c) || c != '"') return Error("expected object key string");
+      MALLEUS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWs();
+      MALLEUS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return JsonValue::Object(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    MALLEUS_CHECK(Consume('"'));
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // Backslash.
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          uint32_t code;
+          if (!ParseHex4(&code)) return Error("invalid \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            uint32_t low;
+            if (!Consume('\\') || !Consume('u') || !ParseHex4(&low) ||
+                low < 0xDC00 || low > 0xDFFF) {
+              return Error("unpaired surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(code, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t begin = pos_;
+    if (Consume('-')) {
+      // Sign consumed; digits validated below.
+    }
+    char c;
+    if (!Peek(&c) || c < '0' || c > '9') return Error("invalid number");
+    if (c == '0') {
+      ++pos_;  // A leading zero must stand alone ("01" is invalid).
+    } else {
+      while (Peek(&c) && c >= '0' && c <= '9') ++pos_;
+    }
+    if (Consume('.')) {
+      if (!Peek(&c) || c < '0' || c > '9') {
+        return Error("digits required after decimal point");
+      }
+      while (Peek(&c) && c >= '0' && c <= '9') ++pos_;
+    }
+    if (Peek(&c) && (c == 'e' || c == 'E')) {
+      ++pos_;
+      if (Peek(&c) && (c == '+' || c == '-')) ++pos_;
+      if (!Peek(&c) || c < '0' || c > '9') {
+        return Error("digits required in exponent");
+      }
+      while (Peek(&c) && c >= '0' && c <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(begin, pos_ - begin);
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) return Error("number out of range");
+    return JsonValue::Number(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+bool JsonValue::bool_value() const {
+  MALLEUS_CHECK(kind_ == Kind::kBool) << "not a bool";
+  return bool_;
+}
+
+double JsonValue::number() const {
+  MALLEUS_CHECK(kind_ == Kind::kNumber) << "not a number";
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  MALLEUS_CHECK(kind_ == Kind::kString) << "not a string";
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::array() const {
+  MALLEUS_CHECK(kind_ == Kind::kArray) << "not an array";
+  return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  MALLEUS_CHECK(kind_ == Kind::kObject) << "not an object";
+  return members_;
+}
+
+bool JsonValue::IsInt64() const {
+  if (kind_ != Kind::kNumber) return false;
+  // Exact int64 range representable without rounding surprises: compare
+  // against the double-exact bound.
+  if (number_ < -9.223372036854775e18 || number_ > 9.223372036854775e18) {
+    return false;
+  }
+  return number_ == std::floor(number_);
+}
+
+int64_t JsonValue::Int64() const {
+  MALLEUS_CHECK(IsInt64()) << "not an integral number";
+  return static_cast<int64_t>(number_);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::Null() { return JsonValue(); }
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::Object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+}  // namespace serve
+}  // namespace malleus

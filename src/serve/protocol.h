@@ -1,0 +1,82 @@
+// The malleus::serve wire protocol: versioned JSONL request/response
+// envelopes plus the StatusCode <-> wire error-code mapping.
+//
+// One request per line, one response per line, both UTF-8 JSON objects:
+//
+//   -> {"v":1,"id":7,"method":"plan","params":{...},"deadline_ms":2000}
+//   <- {"v":1,"id":7,"ok":true,"result":{...}}
+//   <- {"v":1,"id":7,"ok":false,
+//       "error":{"code":"NOT_FOUND","message":"..."}}
+//
+// Envelope rules (DESIGN.md section 13 has the full grammar):
+//   * `v` must equal kProtocolVersion (1); anything else is
+//     FAILED_PRECONDITION so old clients fail loud, not weird.
+//   * `id` is a non-negative integer chosen by the client and echoed
+//     verbatim. Responses to unparsable requests carry id 0.
+//   * `method` selects the handler; `params` is an optional object.
+//   * `deadline_ms` is an optional queueing budget relative to admission;
+//     a request still queued past it answers DEADLINE_EXCEEDED (the one
+//     wire code with no StatusCode, since the library never times out).
+//     0 means "expires immediately" (useful in tests); negative is
+//     INVALID_ARGUMENT.
+//
+// Responses for one connection are written in request order even though
+// execution overlaps, so scripted JSONL sessions are deterministic.
+
+#ifndef MALLEUS_SERVE_PROTOCOL_H_
+#define MALLEUS_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "serve/json.h"
+
+namespace malleus {
+namespace serve {
+
+/// Version stamped on every request and response line.
+inline constexpr int kProtocolVersion = 1;
+
+/// The one wire error with no StatusCode counterpart.
+inline constexpr char kDeadlineExceeded[] = "DEADLINE_EXCEEDED";
+
+/// A validated request envelope.
+struct Request {
+  int64_t id = 0;
+  std::string method;
+  JsonValue params;  ///< Object; an empty object when absent.
+  bool has_deadline = false;
+  int64_t deadline_ms = 0;  ///< Meaningful iff has_deadline.
+};
+
+/// Parses and validates one request line. Errors are InvalidArgument
+/// (malformed JSON / bad envelope field) or FailedPrecondition (version
+/// mismatch); when the id could be recovered before the error it is
+/// reported via `*id_out` so the error response can echo it.
+Result<Request> ParseRequest(const std::string& line, int64_t* id_out);
+
+/// "INVALID_ARGUMENT", "NOT_FOUND", ... for the wire `error.code` field.
+/// kOk maps to "OK" (never sent).
+const char* WireErrorCode(StatusCode code);
+
+/// `{"v":1,"id":ID,"ok":true,"result":RESULT_JSON}` — `result_json` must
+/// already be a serialized JSON value.
+std::string OkResponse(int64_t id, const std::string& result_json);
+
+/// Error response from a Status (non-OK).
+std::string ErrorResponse(int64_t id, const Status& status);
+
+/// Error response with an explicit wire code (DEADLINE_EXCEEDED).
+std::string ErrorResponseCode(int64_t id, const char* code,
+                              const std::string& message);
+
+/// Renders a request envelope line (the client side of ParseRequest).
+/// `params_json` must be a serialized JSON object or empty (omitted).
+std::string RequestLine(int64_t id, const std::string& method,
+                        const std::string& params_json, int64_t deadline_ms);
+
+}  // namespace serve
+}  // namespace malleus
+
+#endif  // MALLEUS_SERVE_PROTOCOL_H_

@@ -181,7 +181,7 @@ Result<IlpSolution> SolveIlp(const IntegerProgram& ip,
                              const IlpOptions& options) {
   BranchAndBound bnb(ip, options);
   Result<IlpSolution> result = bnb.Solve();
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   registry.GetCounter("solver.ilp.solves")->Increment();
   registry.GetCounter("solver.ilp.nodes_explored")->Increment(bnb.nodes());
   return result;

@@ -258,7 +258,7 @@ void LinearProgram::AddEqual(std::vector<double> coeffs, double rhs) {
 Result<LpSolution> SolveLp(const LinearProgram& lp) {
   Simplex simplex(lp);
   Result<LpSolution> result = simplex.Solve();
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   registry.GetCounter("solver.lp.solves")->Increment();
   registry.GetCounter("solver.lp.pivots")->Increment(simplex.pivots());
   return result;

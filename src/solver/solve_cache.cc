@@ -1,9 +1,122 @@
 #include "solver/solve_cache.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "common/string_util.h"
 
 namespace malleus {
 namespace solver {
+
+namespace wire {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutInts(std::string* out, const std::vector<int>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (int x : v) PutU64(out, static_cast<uint64_t>(static_cast<int64_t>(x)));
+}
+
+void PutDoubles(std::string* out, const std::vector<double>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double x : v) PutDouble(out, x);
+}
+
+bool Reader::U32(uint32_t* v) {
+  if (size_ - pos_ < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *v = r;
+  return true;
+}
+
+bool Reader::U64(uint64_t* v) {
+  if (size_ - pos_ < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *v = r;
+  return true;
+}
+
+bool Reader::Double(double* v) {
+  uint64_t bits;
+  if (!U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool Reader::String(std::string* s) {
+  uint32_t size;
+  if (!U32(&size)) return false;
+  if (size_ - pos_ < size) return false;
+  s->assign(data_ + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool Reader::Ints(std::vector<int>* v) {
+  uint32_t count;
+  if (!U32(&count)) return false;
+  if (size_ - pos_ < static_cast<size_t>(count) * 8) return false;
+  v->clear();
+  v->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t raw;
+    if (!U64(&raw)) return false;
+    v->push_back(static_cast<int>(static_cast<int64_t>(raw)));
+  }
+  return true;
+}
+
+bool Reader::Doubles(std::vector<double>* v) {
+  uint32_t count;
+  if (!U32(&count)) return false;
+  if (size_ - pos_ < static_cast<size_t>(count) * 8) return false;
+  v->clear();
+  v->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    double d;
+    if (!Double(&d)) return false;
+    v->push_back(d);
+  }
+  return true;
+}
+
+}  // namespace wire
 
 namespace {
 
@@ -108,6 +221,95 @@ void SolveCache::Clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+}
+
+void CacheCodec::Register(char tag, EncodeFn encode, DecodeFn decode) {
+  entries_[tag] = {std::move(encode), std::move(decode)};
+}
+
+const CacheCodec::EncodeFn* CacheCodec::encoder(char tag) const {
+  auto it = entries_.find(tag);
+  return it == entries_.end() ? nullptr : &it->second.first;
+}
+
+const CacheCodec::DecodeFn* CacheCodec::decoder(char tag) const {
+  auto it = entries_.find(tag);
+  return it == entries_.end() ? nullptr : &it->second.second;
+}
+
+char SolveCache::KeyTag(const std::string& key) {
+  if (key.size() < 2 || key[0] != kMarkTag) return '\0';
+  return key[1];
+}
+
+std::string SolveCache::Serialize(const CacheCodec& codec) const {
+  // Snapshot the encodable entries, then sort outside the lock.
+  std::vector<std::pair<std::string, std::shared_ptr<const void>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, value] : entries_) {
+      if (codec.Has(KeyTag(key))) snapshot.emplace_back(key, value);
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::string out;
+  wire::PutU64(&out, snapshot.size());
+  std::string value_bytes;
+  for (const auto& [key, value] : snapshot) {
+    value_bytes.clear();
+    (*codec.encoder(KeyTag(key)))(value.get(), &value_bytes);
+    wire::PutString(&out, key);
+    wire::PutString(&out, value_bytes);
+  }
+  return out;
+}
+
+Status SolveCache::Deserialize(const std::string& blob,
+                               const CacheCodec& codec) {
+  wire::Reader reader(blob.data(), blob.size());
+  uint64_t count;
+  if (!reader.U64(&count)) {
+    return Status::InvalidArgument("cache blob truncated: no entry count");
+  }
+  // Decode everything before touching the cache, so corruption can never
+  // leave a half-loaded state behind.
+  std::vector<std::pair<std::string, std::shared_ptr<const void>>> decoded;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string value_bytes;
+    if (!reader.String(&key) || !reader.String(&value_bytes)) {
+      return Status::InvalidArgument(
+          StrFormat("cache blob truncated at entry %llu of %llu",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(count)));
+    }
+    const char tag = KeyTag(key);
+    if (tag == '\0') {
+      return Status::InvalidArgument(
+          StrFormat("cache blob entry %llu has an untagged key",
+                    static_cast<unsigned long long>(i)));
+    }
+    const CacheCodec::DecodeFn* decode = codec.decoder(tag);
+    if (decode == nullptr) continue;  // Unknown domain: skip, not an error.
+    std::shared_ptr<const void> value =
+        (*decode)(value_bytes.data(), value_bytes.size());
+    if (value == nullptr) {
+      return Status::InvalidArgument(
+          StrFormat("cache blob entry %llu ('%c') failed to decode",
+                    static_cast<unsigned long long>(i), tag));
+    }
+    decoded.emplace_back(std::move(key), std::move(value));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("cache blob has trailing bytes");
+  }
+  for (auto& [key, value] : decoded) {
+    Insert(key, std::move(value));
+  }
+  return Status::OK();
 }
 
 }  // namespace solver

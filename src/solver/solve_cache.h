@@ -23,6 +23,8 @@
 #define MALLEUS_SOLVER_SOLVE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,8 +32,48 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace malleus {
 namespace solver {
+
+/// Fixed-width little-endian primitives shared by cache serialization and
+/// its value codecs. Everything is length-prefixed and bounds-checked on
+/// the way back in, so a truncated or bit-flipped blob fails decoding
+/// instead of reading out of range.
+namespace wire {
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutDouble(std::string* out, double v);          // By bit pattern.
+void PutString(std::string* out, const std::string& s);
+void PutInts(std::string* out, const std::vector<int>& v);
+void PutDoubles(std::string* out, const std::vector<double>& v);
+
+/// Bounds-checked sequential reader over a byte span. Every accessor
+/// returns false (leaving the output untouched) once the span is
+/// exhausted or a length prefix exceeds the remaining bytes.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool Double(double* v);
+  bool String(std::string* s);
+  bool Ints(std::vector<int>* v);
+  bool Doubles(std::vector<double>* v);
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
 
 /// \brief Canonical, collision-free byte encoding of a subproblem.
 ///
@@ -57,6 +99,31 @@ class CacheKey {
   void AppendRaw64(uint64_t v);
 
   std::string bytes_;
+};
+
+/// \brief Per-tag value encoders/decoders for cache persistence.
+///
+/// The cache stores values type-erased, so serialization needs help from
+/// whoever knows the concrete types: one codec entry per CacheKey::Tag
+/// domain. Encoders append the value's bytes (use the wire:: helpers);
+/// decoders rebuild a value from those bytes, returning null when the
+/// bytes are malformed. Tags without a codec are simply skipped on save
+/// and on load, which is how a reader degrades gracefully on entry kinds
+/// it does not understand (e.g. a newer producer's).
+class CacheCodec {
+ public:
+  using EncodeFn = std::function<void(const void* value, std::string* out)>;
+  using DecodeFn =
+      std::function<std::shared_ptr<const void>(const char* data, size_t size)>;
+
+  void Register(char tag, EncodeFn encode, DecodeFn decode);
+  bool Has(char tag) const { return entries_.count(tag) != 0; }
+  /// Null when `tag` is unregistered.
+  const EncodeFn* encoder(char tag) const;
+  const DecodeFn* decoder(char tag) const;
+
+ private:
+  std::map<char, std::pair<EncodeFn, DecodeFn>> entries_;
 };
 
 /// \brief Thread-safe key -> solved-result store.
@@ -102,6 +169,24 @@ class SolveCache {
   Stats stats() const;
   size_t size() const;
   void Clear();
+
+  /// Domain tag of a CacheKey-built key ('L', 'O', ...), or '\0' when the
+  /// key does not start with a Tag() field.
+  static char KeyTag(const std::string& key);
+
+  /// Serializes every entry whose tag `codec` can encode, sorted by key,
+  /// so caches with equal contents serialize byte-identically regardless
+  /// of insertion order. Entries with unregistered tags are skipped.
+  std::string Serialize(const CacheCodec& codec) const;
+
+  /// Decodes a Serialize() blob and inserts its entries (existing entries
+  /// under the same keys are kept — first insert wins, matching Insert's
+  /// racing semantics). The blob is validated in full before anything is
+  /// inserted, so a malformed blob returns a Status and leaves the cache
+  /// untouched. Entries whose tag has no decoder are skipped; an entry
+  /// whose decoder rejects its bytes fails the whole load (the blob is
+  /// corrupt, not merely newer).
+  Status Deserialize(const std::string& blob, const CacheCodec& codec);
 
  private:
   const size_t max_entries_;

@@ -307,7 +307,11 @@ Result<obs::AttributionReport> RunWhatIf(
   // Sweep: each worker writes only rows[i]; the shared planner entries are
   // internally synchronized.
   std::vector<obs::AttributionRow> rows(grid.size());
-  const auto evaluate = [&](int64_t i) {
+  obs::MetricsRegistry* metrics = &obs::MetricsRegistry::Current();
+  const auto evaluate = [&, metrics](int64_t i) {
+    // Re-install the caller's registry on the pool worker so the nested
+    // planner/replay metrics stay with this sweep's request.
+    obs::MetricsScope metrics_scope(metrics);
     const scenario::Counterfactual& cf = grid[i];
     obs::AttributionRow& row = rows[i];
     row.cause = cf.Label();
@@ -436,7 +440,7 @@ Result<obs::AttributionReport> RunWhatIf(
   // Sweep telemetry for the process-global registry (dashboards, bench
   // snapshots). Deliberately NOT part of the report struct: report bytes
   // must stay interleaving-independent.
-  auto& registry = obs::MetricsRegistry::Global();
+  auto& registry = obs::MetricsRegistry::Current();
   registry.GetCounter("whatif.sweeps")->Increment();
   registry.GetCounter("whatif.counterfactuals")
       ->Increment(static_cast<double>(grid.size()));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "core/planner.h"
 #include "model/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -352,6 +353,77 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesAreNotLost) {
   EXPECT_GE(gauge, 0.0);
   EXPECT_LT(gauge, kThreads);
   EXPECT_TRUE(IsValidJson(reg.ToJson()));
+}
+
+TEST(MetricsScopeTest, CurrentFallsBackToGlobalAndNestsAndRestores) {
+  EXPECT_EQ(&MetricsRegistry::Current(), &MetricsRegistry::Global());
+  MetricsRegistry a, b;
+  {
+    MetricsScope scope_a(&a);
+    EXPECT_EQ(&MetricsRegistry::Current(), &a);
+    {
+      MetricsScope scope_b(&b);
+      EXPECT_EQ(&MetricsRegistry::Current(), &b);
+    }
+    // Nested scopes restore the enclosing scope, not Global.
+    EXPECT_EQ(&MetricsRegistry::Current(), &a);
+  }
+  EXPECT_EQ(&MetricsRegistry::Current(), &MetricsRegistry::Global());
+}
+
+TEST(MetricsScopeTest, ScopeIsPerThread) {
+  MetricsRegistry a;
+  MetricsScope scope(&a);
+  MetricsRegistry* seen_on_other_thread = nullptr;
+  std::thread t([&] { seen_on_other_thread = &MetricsRegistry::Current(); });
+  t.join();
+  // A scope installed on this thread must not leak into others.
+  EXPECT_EQ(seen_on_other_thread, &MetricsRegistry::Global());
+}
+
+// Re-entrancy hammer: two planners run concurrently, each under its own
+// tagged registry. Every planner.solves increment must land in the
+// registry of the thread that ran the plan — none may cross-talk into the
+// other request's registry or leak into Global. This is the contract the
+// serving layer's per-request metrics depend on.
+TEST(MetricsScopeTest, ConcurrentTaggedPlannersDoNotCrossTalk) {
+  const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(1);
+  const model::CostModel cost(model::ModelSpec::Tiny(), cluster.gpu());
+  const double global_before =
+      MetricsRegistry::Global().GetCounter("planner.solves")->Value();
+
+  constexpr int kPlansPerThread = 3;
+  MetricsRegistry registries[2];
+  std::thread threads[2];
+  for (int t = 0; t < 2; ++t) {
+    threads[t] = std::thread([&, t] {
+      MetricsScope scope(&registries[t]);
+      core::Planner planner(cluster, cost);
+      straggler::Situation situation(cluster.num_gpus());
+      if (t == 1) situation.SetRate(0, 2.0);  // Distinct workloads.
+      core::PlannerOptions options;
+      options.num_threads = 2;  // Fan out inside the scope, too.
+      for (int i = 0; i < kPlansPerThread; ++i) {
+        MALLEUS_CHECK_OK(planner.Plan(situation, 16, options).status());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_DOUBLE_EQ(
+        registries[t].GetCounter("planner.solves")->Value(),
+        static_cast<double>(kPlansPerThread))
+        << "registry " << t;
+    // Pool workers re-install the scope, so candidate metrics land here
+    // as well, not in Global.
+    EXPECT_GT(
+        registries[t].GetCounter("planner.candidates_explored")->Value(), 0)
+        << "registry " << t;
+  }
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Global().GetCounter("planner.solves")->Value(),
+      global_before);
 }
 
 TEST(ScopedTimerTest, RecordsOneObservation) {

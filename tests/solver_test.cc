@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "solver/cache_io.h"
 #include "solver/division.h"
 #include "solver/ilp.h"
 #include "solver/lp.h"
@@ -513,6 +514,160 @@ TEST(SolveCacheTest, CapacityBoundDropsCache) {
   // The overflowing insert dropped the old entries and kept the new one.
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_NE(cache.LookupAs<int>(CacheKey().Tag('T').Int(3).str()), nullptr);
+}
+
+// ---------- cache serialization ----------
+
+// A toy codec for tag 'T' with int values, enough to exercise the
+// serialization machinery without dragging in the planner's types.
+CacheCodec IntCodec() {
+  CacheCodec codec;
+  codec.Register(
+      'T',
+      [](const void* value, std::string* out) {
+        wire::PutU64(out,
+                     static_cast<uint64_t>(*static_cast<const int*>(value)));
+      },
+      [](const char* data, size_t size) -> std::shared_ptr<const void> {
+        wire::Reader reader(data, size);
+        uint64_t v = 0;
+        if (!reader.U64(&v) || !reader.AtEnd()) return nullptr;
+        return std::make_shared<const int>(static_cast<int>(v));
+      });
+  return codec;
+}
+
+TEST(SolveCacheSerializationTest, RoundTripRestoresEntries) {
+  const CacheCodec codec = IntCodec();
+  SolveCache cache;
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(1).str(), 10);
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(2).str(), 20);
+  const std::string blob = cache.Serialize(codec);
+
+  SolveCache restored;
+  MALLEUS_CHECK_OK(restored.Deserialize(blob, codec));
+  EXPECT_EQ(restored.size(), 2u);
+  std::shared_ptr<const int> hit =
+      restored.LookupAs<int>(CacheKey().Tag('T').Int(2).str());
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 20);
+}
+
+TEST(SolveCacheSerializationTest, SerializeIsInsertionOrderIndependent) {
+  const CacheCodec codec = IntCodec();
+  SolveCache forward, backward;
+  for (int i = 0; i < 8; ++i) {
+    forward.InsertAs<int>(CacheKey().Tag('T').Int(i).str(), i);
+    backward.InsertAs<int>(CacheKey().Tag('T').Int(7 - i).str(), 7 - i);
+  }
+  EXPECT_EQ(forward.Serialize(codec), backward.Serialize(codec));
+}
+
+TEST(SolveCacheSerializationTest, UnknownTagsAreSkippedNotFatal) {
+  const CacheCodec codec = IntCodec();
+  SolveCache cache;
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(1).str(), 10);
+  cache.InsertAs<double>(CacheKey().Tag('Z').Int(1).str(), 3.5);
+  // 'Z' has no encoder: only the 'T' entry is persisted.
+  const std::string blob = cache.Serialize(codec);
+  SolveCache restored;
+  MALLEUS_CHECK_OK(restored.Deserialize(blob, codec));
+  EXPECT_EQ(restored.size(), 1u);
+}
+
+TEST(SolveCacheSerializationTest, TruncatedBlobRejectedAndCacheUntouched) {
+  const CacheCodec codec = IntCodec();
+  SolveCache cache;
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(1).str(), 10);
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(2).str(), 20);
+  const std::string blob = cache.Serialize(codec);
+
+  for (size_t cut : {blob.size() - 1, blob.size() / 2, size_t{1}}) {
+    SolveCache restored;
+    const Status status =
+        restored.Deserialize(blob.substr(0, cut), codec);
+    EXPECT_FALSE(status.ok()) << "cut at " << cut;
+    // All-or-nothing: a bad blob must not leave partial entries behind.
+    EXPECT_EQ(restored.size(), 0u) << "cut at " << cut;
+  }
+}
+
+TEST(SolveCacheSerializationTest, CorruptLengthPrefixRejected) {
+  const CacheCodec codec = IntCodec();
+  SolveCache cache;
+  cache.InsertAs<int>(CacheKey().Tag('T').Int(1).str(), 10);
+  std::string blob = cache.Serialize(codec);
+  // The blob ends in the entry's value string: u32 length + 8 payload
+  // bytes. Flip the length's most significant byte so it points past the
+  // end of the blob; the bounds-checked reader must reject it.
+  blob[blob.size() - 9] = static_cast<char>(blob[blob.size() - 9] ^ 0x7f);
+  SolveCache restored;
+  const Status status = restored.Deserialize(blob, codec);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(CacheIoTest, FileRoundTripPreservesSections) {
+  std::vector<CacheFileSection> sections(2);
+  sections[0].fingerprint = 0x1111;
+  sections[0].label = "alpha";
+  sections[0].blob = "payload-a";
+  sections[1].fingerprint = 0x2222;
+  sections[1].label = "beta";
+  sections[1].blob = std::string("\x00\x01\x02", 3);  // Binary-safe.
+  const std::string bytes = EncodeCacheFile(sections);
+
+  Result<std::vector<CacheFileSection>> decoded = DecodeCacheFile(bytes);
+  MALLEUS_CHECK_OK(decoded.status());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].fingerprint, 0x1111u);
+  EXPECT_EQ((*decoded)[0].label, "alpha");
+  EXPECT_EQ((*decoded)[1].blob, sections[1].blob);
+}
+
+TEST(CacheIoTest, TruncationAndBitFlipsRejected) {
+  std::vector<CacheFileSection> sections(1);
+  sections[0].fingerprint = 0xabcd;
+  sections[0].label = "x";
+  sections[0].blob = "0123456789";
+  const std::string bytes = EncodeCacheFile(sections);
+
+  // Any truncation point fails: either a bounds check or the hash.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<std::vector<CacheFileSection>> r =
+        DecodeCacheFile(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+  }
+  // Any single bit flip past the version field trips the footer hash.
+  for (size_t i = 12; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x01);
+    Result<std::vector<CacheFileSection>> r = DecodeCacheFile(flipped);
+    EXPECT_FALSE(r.ok()) << "flip at " << i;
+  }
+}
+
+TEST(CacheIoTest, VersionBumpRejectedWithFailedPrecondition) {
+  std::vector<CacheFileSection> sections(1);
+  sections[0].fingerprint = 1;
+  sections[0].label = "v";
+  sections[0].blob = "b";
+  std::string bytes = EncodeCacheFile(sections);
+  // The u32 version sits right after the 8-byte magic (little-endian).
+  ASSERT_EQ(static_cast<unsigned char>(bytes[8]), kCacheFileVersion);
+  bytes[8] = static_cast<char>(kCacheFileVersion + 1);
+  Result<std::vector<CacheFileSection>> r = DecodeCacheFile(bytes);
+  ASSERT_FALSE(r.ok());
+  // Version mismatch is reported as such, checked BEFORE the hash, so a
+  // future format upgrade fails with a version message, not "corrupt".
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CacheIoTest, MissingFileIsNotFound) {
+  Result<std::vector<CacheFileSection>> r =
+      ReadCacheFile("/nonexistent/malleus-cache-io-test");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -24,6 +24,10 @@
 #                              #   and sweep it with malleus_whatif under
 #                              #   ASan/UBSan, once per net model, checking
 #                              #   byte-identical repeat reports
+#   tools/check.sh --serve     # the serving control plane: serve_test +
+#                              #   the malleus_served smoke under
+#                              #   ASan/UBSan, then serve_test under TSan
+#                              #   with 4 workers/planner threads
 #
 # Fuzz preset (--fuzz) — the seeded scenario fuzzer (tools/malleus_fuzz,
 # DESIGN.md §11) over 200 runs per net model, in the ASan/UBSan build, so
@@ -55,6 +59,7 @@ for arg in "$@"; do
     --lint) MODE=lint ;;
     --fuzz) MODE=fuzz ;;
     --whatif) MODE=whatif ;;
+    --serve) MODE=serve ;;
     --fast) FAST=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -92,6 +97,38 @@ if [[ "$MODE" == "lint" ]]; then
   tools/format.sh --check
 
   echo "OK: -Werror build + scenario lint + clang-tidy + format check"
+  exit 0
+fi
+
+if [[ "$MODE" == "serve" ]]; then
+  # The serving control plane, both sanitizer families: memory/UB bugs in
+  # the protocol + server + cache persistence paths under ASan/UBSan
+  # (including the end-to-end daemon smoke), then the admission queue /
+  # drainer / per-request metrics concurrency under TSan with real
+  # parallelism forced.
+  export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+  export ASAN_OPTIONS="detect_leaks=1"
+  if [[ "$FAST" != 1 || ! -f build-asan/CMakeCache.txt ]]; then
+    cmake -B build-asan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMALLEUS_SANITIZE=address,undefined
+  fi
+  cmake --build build-asan -j"$(nproc)" \
+    --target serve_test malleus_served malleus_client_tool
+  echo "== serve tests + daemon smoke (ASan/UBSan) =="
+  ctest --test-dir build-asan -R 'serve' --output-on-failure -j"$(nproc)"
+
+  if [[ "$FAST" != 1 || ! -f build-tsan/CMakeCache.txt ]]; then
+    cmake -B build-tsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DMALLEUS_SANITIZE=thread
+  fi
+  cmake --build build-tsan -j"$(nproc)" --target serve_test
+  echo "== serve_test (TSan, 4 planner threads) =="
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    MALLEUS_PLANNER_THREADS=4 build-tsan/tests/serve_test
+  echo "OK: serve tests + smoke clean under ASan/UBSan, serve_test clean" \
+       "under TSan (4 planner threads)"
   exit 0
 fi
 
@@ -138,8 +175,10 @@ fi
 
 if [[ "$MODE" == "tsan" ]]; then
   # Only the binaries exercising threads: the pool itself, the metrics
-  # registry hammer, and the planner (serial + parallel-sweep suites).
-  TSAN_TARGETS=(exec_test obs_test planner_parallel_test planner_test)
+  # registry hammer, the planner (serial + parallel-sweep suites) and the
+  # serving control plane.
+  TSAN_TARGETS=(exec_test obs_test planner_parallel_test planner_test
+                serve_test)
   cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TSAN_TARGETS[@]}"
 
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"

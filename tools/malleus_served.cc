@@ -1,0 +1,139 @@
+// malleus_served: the planner-as-a-service daemon. Speaks the versioned
+// JSONL protocol (serve/protocol.h) over TCP, or over stdin/stdout with
+// --stdio for scripted sessions and tests.
+//
+//   $ ./tools/malleus_served --port=7077 --cache-save=/var/tmp/malleus.cache
+//   listening on 127.0.0.1:7077
+//
+//   $ ./tools/malleus_served --stdio < session.jsonl
+//
+// The daemon serves register/plan/replan/estimate/lint/status/save_cache
+// for any number of registered clusters concurrently and exits on a
+// `shutdown` request (graceful drain: every admitted request is answered,
+// the solver cache is persisted when --cache-save is set).
+//
+// Flags:
+//   --port=N             TCP listen port on 127.0.0.1 (0 = ephemeral;
+//                        the chosen port is printed either way)
+//   --stdio              serve stdin/stdout instead of TCP
+//   --workers=N          concurrent request executors      (default 2)
+//   --planner-threads=N  threads per planner sweep         (default 1)
+//   --max-queue=N        admission queue bound             (default 64)
+//   --cache-load=FILE    warm-load the solver cache at startup
+//   --cache-save=FILE    persist the solver cache at shutdown
+//
+// Exit status: 0 = clean shutdown, 1 = startup or shutdown failure,
+// 2 = bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/server.h"
+#include "serve/transport.h"
+
+using namespace malleus;
+
+namespace {
+
+struct Args {
+  int port = 0;
+  bool stdio = false;
+  serve::ServerOptions options;
+};
+
+bool ParseIntFlag(const std::string& arg, const char* prefix, int* out) {
+  const size_t len = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  const long value = std::strtol(arg.c_str() + len, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 0 || value > 1 << 20) {
+    std::fprintf(stderr, "bad value in %s\n", arg.c_str());
+    std::exit(2);
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int value = 0;
+    if (arg == "--stdio") {
+      out->stdio = true;
+    } else if (ParseIntFlag(arg, "--port=", &out->port)) {
+    } else if (ParseIntFlag(arg, "--workers=", &value)) {
+      out->options.num_workers = value;
+    } else if (ParseIntFlag(arg, "--planner-threads=", &value)) {
+      out->options.planner_threads = value;
+    } else if (ParseIntFlag(arg, "--max-queue=", &value)) {
+      out->options.max_queue = value;
+    } else if (arg.rfind("--cache-load=", 0) == 0) {
+      out->options.cache_load_path = arg.substr(13);
+    } else if (arg.rfind("--cache-save=", 0) == 0) {
+      out->options.cache_save_path = arg.substr(13);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (out->options.num_workers < 1 || out->options.planner_threads < 1 ||
+      out->options.max_queue < 1) {
+    std::fprintf(stderr,
+                 "--workers/--planner-threads/--max-queue must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: malleus_served [--port=N | --stdio] [--workers=N]\n"
+      "                      [--planner-threads=N] [--max-queue=N]\n"
+      "                      [--cache-load=FILE] [--cache-save=FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  serve::Server server(args.options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  if (args.stdio) {
+    status = serve::ServeStdio(&server, std::cin, std::cout);
+  } else {
+    serve::TcpServer tcp(&server);
+    status = tcp.Listen(args.port);
+    if (status.ok()) {
+      // Parseable by scripts that passed --port=0.
+      std::fprintf(stdout, "listening on 127.0.0.1:%d\n", tcp.port());
+      std::fflush(stdout);
+      status = tcp.Serve();
+    }
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    server.Shutdown();
+    return 1;
+  }
+
+  status = server.Shutdown();
+  if (!status.ok()) {
+    std::fprintf(stderr, "shutdown: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

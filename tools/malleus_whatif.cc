@@ -1,8 +1,8 @@
 // malleus_whatif: offline what-if attribution over a recorded-run bundle.
 //
-//   $ ./examples/scenario_cli --scenario=straggle_s3.scenario \
+//   $ ./examples/scenario_cli --scenario=straggle_s3.scenario
 //         --record-out=/tmp/run
-//   $ ./tools/malleus_whatif /tmp/run --auto-grid --top=10 \
+//   $ ./tools/malleus_whatif /tmp/run --auto-grid --top=10
 //         --report-out=report.json --csv-out=report.csv
 //
 // Loads the bundle (manifest-verified: a truncated or edited member fails
