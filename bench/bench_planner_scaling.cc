@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/planner.h"
+#include "net/flow_sim.h"
 
 namespace malleus {
 namespace bench {
@@ -112,6 +113,165 @@ Measured MeasureNoCache(const Scenario& sc, const model::CostModel& cost) {
   return m;
 }
 
+// ---------------------------------------------------------------------------
+// Scale-out section: hierarchical planning on pod-structured fat-tree
+// clusters at 512 / 2048 / 8192 GPUs. The acceptance bar is a sub-second
+// cold plan at 2048 GPUs and an 8192-GPU plan that completes at all; the
+// warm column shows the island-memo delta re-plan after one new straggler.
+
+topo::ClusterSpec ScaleCluster(int nodes, int gpn, int nodes_per_pod,
+                               double oversub) {
+  topo::FabricSpec f;
+  f.kind = topo::FabricSpec::Kind::kFatTree;
+  f.nodes_per_pod = nodes_per_pod;
+  f.oversubscription = oversub;
+  return topo::ClusterSpec(nodes, gpn, topo::GpuSpec(), topo::LinkSpec(), f);
+}
+
+std::string RunScale() {
+  struct ScaleCase {
+    std::string label;
+    int nodes, gpn, pod;
+    int64_t batch;
+  };
+  const std::vector<ScaleCase> cases = {
+      {"512 GPUs (64n fat-tree, pods of 4)", 64, 8, 4, 1024},
+      {"2048 GPUs (256n fat-tree, pods of 8)", 256, 8, 8, 2048},
+      {"8192 GPUs (1024n fat-tree, pods of 16)", 1024, 8, 16, 8192},
+  };
+
+  std::string json = "\"scale\":[";
+  TablePrinter table("hierarchical planning at scale (fat-tree, 4:1 spine)");
+  table.SetHeader({"Scenario", "cold plan", "warm delta re-plan",
+                   "sub-second", "valid"});
+  bool first = true;
+  for (const ScaleCase& c : cases) {
+    const topo::ClusterSpec cluster = ScaleCluster(c.nodes, c.gpn, c.pod, 4.0);
+    const model::CostModel cost(model::ModelSpec::Tiny(), cluster.gpu());
+    straggler::Situation situation(cluster.num_gpus());
+    situation.SetLevel(0, 3);  // One S3-style straggler in pod 0 ...
+    situation.SetLevel(cluster.num_gpus() / 2, 1);  // ... one S1 mid-cluster.
+
+    core::Planner planner(cluster, cost);
+    double cold = std::numeric_limits<double>::infinity();
+    Result<core::PlanResult> r = Status::Internal("unset");
+    for (int rep = 0; rep < kReps; ++rep) {
+      core::Planner fresh(cluster, cost);
+      const double t0 = Now();
+      Result<core::PlanResult> attempt = fresh.Plan(situation, c.batch);
+      const double seconds = Now() - t0;
+      MALLEUS_CHECK_OK(attempt.status());
+      if (seconds < cold) cold = seconds;
+      r = std::move(attempt);
+    }
+    const bool valid = r->plan.Validate(cluster, cost).ok();
+
+    // Warm delta re-plan on a planner whose island memo is already primed:
+    // one additional straggler appears, everything else replays.
+    MALLEUS_CHECK_OK(planner.Plan(situation, c.batch).status());
+    situation.SetLevel(cluster.num_gpus() / 4, 2);
+    const double t1 = Now();
+    MALLEUS_CHECK_OK(planner.Plan(situation, c.batch).status());
+    const double warm = Now() - t1;
+
+    const bool sub_second = cold < 1.0;
+    table.AddRow({c.label, StrFormat("%.3fs", cold),
+                  StrFormat("%.3fs", warm), sub_second ? "yes" : "NO",
+                  valid ? "yes" : "NO"});
+    if (!first) json += ",";
+    first = false;
+    json += StrFormat(
+        "{\"label\":\"%s\",\"gpus\":%d,\"cold_seconds\":%.6f,"
+        "\"warm_replan_seconds\":%.6f,\"sub_second\":%s,"
+        "\"plan_valid\":%s}",
+        JsonEscape(c.label).c_str(), c.nodes * c.gpn, cold, warm,
+        sub_second ? "true" : "false", valid ? "true" : "false");
+  }
+  json += "]";
+  table.Print();
+  return json;
+}
+
+// ---------------------------------------------------------------------------
+// FlowSim event-loop section: 2048 staggered flows on a 256-GPU fat-tree
+// fabric, played once by the seed's from-scratch legacy engine and once by
+// the incremental engine. Both must agree bitwise; the speedup column is
+// the acceptance number (target >= 10x).
+
+std::vector<net::Flow> ScaleFlows(const topo::ClusterSpec& cluster) {
+  // Eight staggered waves of neighbour shuffles: wave w sends GPU g ->
+  // g + w + 1, all waves offset in time so the active set churns — the
+  // regime where from-scratch re-sharing at every event hurts most.
+  std::vector<net::Flow> flows;
+  const int n = cluster.num_gpus();
+  const int waves = 2048 / n;
+  for (int w = 0; w < waves; ++w) {
+    for (int g = 0; g < n; ++g) {
+      net::Flow f;
+      f.src = g;
+      f.dst = (g + w + 1) % n;
+      f.bytes = 1e9 + 1e7 * ((g + w) % 13);
+      f.start_seconds = 0.05 * w + 1e-4 * (g % 7);
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+std::string RunFlowSim() {
+  const topo::ClusterSpec cluster = ScaleCluster(32, 8, 4, 4.0);
+  const net::Fabric fabric(cluster);
+  const std::vector<net::Flow> flows = ScaleFlows(cluster);
+
+  const auto measure = [&](net::FlowSimMode mode, double* makespan,
+                           std::vector<net::FlowOutcome>* outcomes) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      net::FlowSim sim(fabric, mode);
+      for (const net::Flow& f : flows) sim.Submit(f);
+      const double t0 = Now();
+      sim.Run();
+      const double seconds = Now() - t0;
+      if (seconds < best) best = seconds;
+      *makespan = sim.MakespanSeconds();
+      *outcomes = sim.outcomes();
+    }
+    return best;
+  };
+
+  double legacy_makespan = 0.0, incr_makespan = 0.0;
+  std::vector<net::FlowOutcome> legacy_out, incr_out;
+  const double legacy_seconds =
+      measure(net::FlowSimMode::kLegacy, &legacy_makespan, &legacy_out);
+  const double incr_seconds =
+      measure(net::FlowSimMode::kIncremental, &incr_makespan, &incr_out);
+
+  bool identical = legacy_makespan == incr_makespan &&
+                   legacy_out.size() == incr_out.size();
+  for (size_t i = 0; identical && i < legacy_out.size(); ++i) {
+    identical = legacy_out[i].end_seconds == incr_out[i].end_seconds;
+  }
+  const double speedup = legacy_seconds / incr_seconds;
+
+  TablePrinter table("FlowSim event loop, 2048 flows on a 256-GPU fat-tree");
+  table.SetHeader({"Engine", "wall time", "makespan", "speedup",
+                   "bit-identical"});
+  table.AddRow({"legacy (from-scratch)", StrFormat("%.3fs", legacy_seconds),
+                StrFormat("%.4fs", legacy_makespan), "1.00x",
+                identical ? "yes" : "NO"});
+  table.AddRow({"incremental", StrFormat("%.3fs", incr_seconds),
+                StrFormat("%.4fs", incr_makespan),
+                StrFormat("%.2fx", speedup), identical ? "yes" : "NO"});
+  table.Print();
+
+  return StrFormat(
+      "\"flowsim\":{\"flows\":%d,\"legacy_seconds\":%.6f,"
+      "\"incremental_seconds\":%.6f,\"speedup\":%.3f,"
+      "\"bit_identical\":%s}",
+      static_cast<int>(flows.size()), legacy_seconds, incr_seconds, speedup,
+      identical ? "true" : "false");
+}
+
 void Run() {
   std::vector<Scenario> scenarios;
   {
@@ -184,13 +344,17 @@ void Run() {
         by_threads[0].seconds, warm.seconds, nocache.seconds, speedup_cache,
         identical ? "true" : "false");
   }
-  json += "]}\n";
+  json += "],";
   table.Print();
   std::printf(
       "\nIdentical = plan signature and full-step estimate match across all\n"
       "thread counts, warm/cold cache and cache-off. Thread speedups are\n"
       "bounded by the machine's core count; on a single-core host all\n"
-      "thread columns measure the same serialized work.\n");
+      "thread columns measure the same serialized work.\n\n");
+  json += RunScale() + ",";
+  std::printf("\n");
+  json += RunFlowSim();
+  json += "}\n";
   WriteBenchJson("planner_scaling", json);
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/hier.h"
 #include "core/work_assignment.h"
 #include "exec/thread_pool.h"
 #include "obs/metrics.h"
@@ -55,6 +56,12 @@ int ResolveThreads(int requested) {
   return requested > 0 ? requested : exec::DefaultPlannerThreads();
 }
 
+// Pool dispatch (thread startup, task handoff, cache cooldown) only
+// amortizes when every worker gets a meaty slice of the sweep; below this
+// many candidates per worker the sweep runs inline instead, which is
+// bit-identical by construction and measurably faster on small clusters.
+constexpr int kMinCandidatesPerWorker = 8;
+
 // Grouping outcomes are compared so that a later TP degree that collapses
 // to the same groups (e.g. after heavy splitting) is skipped: its
 // candidates would duplicate an earlier TP's and lose every tie-break.
@@ -96,7 +103,11 @@ CandidateOutcome EvaluateCandidate(const Candidate& c,
   out.division_seconds = orch_seconds - out.ordering_seconds;
 
   const auto t_assign = std::chrono::steady_clock::now();
-  std::vector<double> bottlenecks;
+  // Per-worker scratch: the sweep evaluates thousands of candidates at pod
+  // scale, and a fresh allocation per candidate shows up in the profile.
+  thread_local std::vector<double> bottlenecks;
+  bottlenecks.clear();
+  bottlenecks.reserve(orch->pipelines.size());
   for (const OrchestratedPipeline& p : orch->pipelines) {
     bottlenecks.push_back(p.bottleneck);
   }
@@ -171,6 +182,41 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
         StrFormat("forced_tp %d exceeds gpus_per_node %d", options.forced_tp,
                   cluster_.gpus_per_node()));
   }
+  if (options.forced_micro_batch < 0) {
+    return Status::InvalidArgument("forced_micro_batch must be >= 0");
+  }
+  if (options.forced_micro_batch > 0 &&
+      global_batch % options.forced_micro_batch != 0) {
+    return Status::Infeasible(
+        StrFormat("forced_micro_batch %d does not divide batch %lld",
+                  options.forced_micro_batch,
+                  static_cast<long long>(global_batch)));
+  }
+  if (options.island_nodes > 0 &&
+      cluster_.num_nodes() % options.island_nodes != 0) {
+    return Status::InvalidArgument(
+        StrFormat("island_nodes %d must divide the node count %d",
+                  options.island_nodes, cluster_.num_nodes()));
+  }
+
+  // Pod-scale clusters decompose hierarchically (core/hier.h): islands are
+  // planned independently and stitched. A pinned DP degree below the
+  // island count cannot be distributed one-per-island, and a hierarchical
+  // infeasibility (e.g. the model does not fit inside one island) is not
+  // final — both fall through to the flat sweep.
+  if (const int island_nodes = ResolveIslandNodes(cluster_, options);
+      island_nodes > 0) {
+    const int num_islands = cluster_.num_nodes() / island_nodes;
+    if (options.dp_degree == 0 || options.dp_degree >= num_islands) {
+      Result<PlanResult> hier =
+          PlanHierarchical(cluster_, cost_, situation, global_batch, options,
+                           island_nodes, hier_state_.get());
+      if (hier.ok()) return hier;
+      obs::MetricsRegistry::Current()
+          .GetCounter("planner.hier_fallbacks")
+          ->Increment();
+    }
+  }
 
   const int num_threads = ResolveThreads(options.num_threads);
   solver::SolveCache* solve_cache =
@@ -230,7 +276,16 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
           dp_candidates.push_back(dp);
         }
       }
-      for (int b = 1; b <= options.max_micro_batch; ++b) {
+      // A forced micro-batch pins the sweep to exactly that b (it may sit
+      // above max_micro_batch — the caller asked for it explicitly).
+      const int max_b = options.forced_micro_batch > 0
+                            ? options.forced_micro_batch
+                            : options.max_micro_batch;
+      for (int b = 1; b <= max_b; ++b) {
+        if (options.forced_micro_batch > 0 &&
+            b != options.forced_micro_batch) {
+          continue;
+        }
         if (global_batch % b != 0) continue;
         const int64_t total_micro = global_batch / b;
         for (int dp : dp_candidates) {
@@ -257,8 +312,18 @@ Result<PlanResult> Planner::Plan(const straggler::Situation& situation,
     outcomes[i] = EvaluateCandidate(candidates[i], cluster_, cost_,
                                     situation, options, solve_cache);
   };
-  const int workers = static_cast<int>(
+  // Clamp the worker count to what can pay off: never more threads than
+  // the hardware can actually run (except when MALLEUS_PLANNER_THREADS
+  // forces oversubscription, see exec::ConcurrencyCap), and never so many
+  // that each gets less than kMinCandidatesPerWorker candidates — pool
+  // dispatch on a tiny sweep costs more than it wins, and the plan is
+  // bit-identical at any worker count anyway.
+  int workers = static_cast<int>(
       std::min<size_t>(num_threads, std::max<size_t>(candidates.size(), 1)));
+  workers = std::min(workers, exec::ConcurrencyCap());
+  workers = std::min(
+      workers, std::max(1, static_cast<int>(candidates.size()) /
+                               kMinCandidatesPerWorker));
   if (workers > 1) {
     exec::ThreadPool pool(workers);
     exec::ParallelFor(&pool, static_cast<int64_t>(candidates.size()),

@@ -12,11 +12,17 @@
 // solver::SolveCache (see orchestration.h), which also persists across
 // Plan() calls: re-planning under an unchanged situation replays cached
 // solves instead of re-running the division/ILP searches.
+//
+// At pod scale the flat sweep gives way to hierarchical decomposition
+// (core/hier.h): islands — fat-tree pods by default — are planned
+// independently, memoized per island, and stitched across the inter-island
+// fabric, which is what keeps 1k-10k GPU planning sub-second.
 
 #ifndef MALLEUS_CORE_PLANNER_H_
 #define MALLEUS_CORE_PLANNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +65,17 @@ struct PlannerOptions {
   /// candidates and across Plan calls). Off re-solves everything; the
   /// chosen plan is identical either way.
   bool enable_solve_cache = true;
+  /// Pins the micro-batch size to exactly this b (it must divide B); 0
+  /// enumerates [1, max_micro_batch] as usual. The hierarchical
+  /// decomposition pins island sweeps to the globally chosen b with this.
+  int forced_micro_batch = 0;
+  /// Hierarchical decomposition (see core/hier.h): plan islands of this
+  /// many nodes independently and stitch across the inter-island fabric.
+  /// 0 = automatic — islands are the fat-tree pods when the fabric defines
+  /// at least two of them and the cluster is large enough for stitching to
+  /// pay off; -1 forces the flat sweep; N > 0 forces islands of N nodes
+  /// (N must divide the node count).
+  int island_nodes = 0;
 };
 
 /// Wall-time breakdown of one planning run (Appendix A.2 / Table 5).
@@ -90,11 +107,17 @@ struct PlanResult {
   lint::DiagnosticSink diagnostics;
 };
 
+/// Persistent state of the hierarchical decomposition (core/hier.h): the
+/// per-island solve memo that makes delta re-planning cheap. Opaque here;
+/// owned by the Planner so it survives across Plan() calls.
+struct HierPlanState;
+std::shared_ptr<HierPlanState> MakeHierPlanState();
+
 /// \brief Deduces the best parallelization plan for the situation.
 class Planner {
  public:
   Planner(const topo::ClusterSpec& cluster, const model::CostModel& cost)
-      : cluster_(cluster), cost_(cost) {}
+      : cluster_(cluster), cost_(cost), hier_state_(MakeHierPlanState()) {}
 
   /// Plans a global batch of `global_batch` sequences under `situation`.
   Result<PlanResult> Plan(const straggler::Situation& situation,
@@ -112,6 +135,9 @@ class Planner {
   /// Keyed to cost_ (see OrchestrationOptions::solve_cache); mutable so
   /// the logically-const Plan() can memoize. Internally thread-safe.
   mutable solver::SolveCache solve_cache_;
+  /// Island-solve memo for the hierarchical path; internally synchronized
+  /// like the solve cache.
+  std::shared_ptr<HierPlanState> hier_state_;
 };
 
 }  // namespace core

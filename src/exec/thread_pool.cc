@@ -1,5 +1,7 @@
 #include "exec/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <utility>
 
@@ -114,17 +116,35 @@ int DefaultPlannerThreads() {
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
+int ConcurrencyCap() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  int cap = hw >= 1 ? static_cast<int>(hw) : 1;
+  if (const char* env = std::getenv("MALLEUS_PLANNER_THREADS");
+      env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) cap = std::max(cap, static_cast<int>(parsed));
+  }
+  return cap;
+}
+
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& body) {
   if (pool == nullptr || n <= 1) {
     for (int64_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // One runner per worker (never more runners than iterations); each runner
+  // claims iterations from the shared counter until the range drains.
+  const int64_t runners = std::min<int64_t>(pool->num_threads(), n);
+  std::atomic<int64_t> next(0);
   WaitGroup wg;
-  wg.Add(n);
-  for (int64_t i = 0; i < n; ++i) {
-    pool->Submit([&body, &wg, i] {
-      body(i);
+  wg.Add(runners);
+  for (int64_t r = 0; r < runners; ++r) {
+    pool->Submit([&body, &wg, &next, n] {
+      for (int64_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
       wg.Done();
     });
   }

@@ -92,9 +92,22 @@ class ThreadPool {
 /// integer, otherwise the hardware concurrency (at least 1).
 int DefaultPlannerThreads();
 
+/// Upper bound on worker threads that can actually run concurrently: the
+/// hardware concurrency (at least 1), except that a positive
+/// MALLEUS_PLANNER_THREADS raises the cap to its value when that is larger.
+/// The override keeps forced-concurrency runs honest — the TSan stage pins
+/// 4 planner threads on any host precisely to interleave them, and capping
+/// at the core count would silently serialize what it is trying to race.
+int ConcurrencyCap();
+
 /// Runs body(0), ..., body(n-1), distributing the iterations over `pool`
 /// and blocking until all complete. With a null pool (or n <= 1) the loop
 /// runs inline on the calling thread, in index order. Bodies must not throw.
+///
+/// Dispatch is chunked: one runner task per pool worker, each draining a
+/// shared atomic iteration counter, so the enqueue cost is O(workers)
+/// rather than O(n) and idle workers self-balance onto the remaining
+/// iterations without per-iteration Submit/notify traffic.
 void ParallelFor(ThreadPool* pool, int64_t n,
                  const std::function<void(int64_t)>& body);
 

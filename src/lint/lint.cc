@@ -82,10 +82,14 @@ const std::vector<PassInfo>& Passes() {
        "equal-rate pipelines carry unequal micro-batch counts"},
       {kLintScenarioDuplicateStraggler, Severity::kError,
        "two straggler entries target the same GPU"},
+      {kLintScenarioFabricFieldIgnored, Severity::kWarn,
+       "a fabric field does not apply to the chosen fabric kind"},
       {kLintScenarioGpuOutOfRange, Severity::kError,
        "a straggler entry names a GPU outside the cluster"},
       {kLintScenarioInvalidValue, Severity::kError,
        "a scenario field has a non-positive or unparsable value"},
+      {kLintScenarioUnknownFabric, Severity::kError,
+       "the scenario names an unknown fabric kind"},
       {kLintScenarioUnknownModel, Severity::kError,
        "the scenario names an unknown model"},
       {kLintScenarioUnknownPhase, Severity::kError,
@@ -360,6 +364,60 @@ void LintScenario(const scenario::ScenarioSpec& spec, DiagnosticSink* sink) {
                  StrFormat("unknown net model \"%s\" (expected analytic or "
                            "flow)",
                            spec.net_model.c_str()));
+  }
+  topo::FabricSpec::Kind fabric_kind = topo::FabricSpec::Kind::kFlat;
+  bool fabric_ok = true;
+  if (!spec.fabric.empty()) {
+    Result<topo::FabricSpec::Kind> parsed =
+        topo::ParseFabricKind(spec.fabric);
+    if (!parsed.ok()) {
+      sink->Report(Severity::kError, kLintScenarioUnknownFabric,
+                   "scenario.fabric",
+                   StrFormat("unknown fabric \"%s\" (expected flat, "
+                             "fat-tree or rail)",
+                             spec.fabric.c_str()));
+      fabric_ok = false;
+    } else {
+      fabric_kind = *parsed;
+    }
+  }
+  if (fabric_ok) {
+    if (fabric_kind == topo::FabricSpec::Kind::kFatTree) {
+      if (spec.nodes_per_pod <= 0) {
+        sink->Report(Severity::kError, kLintScenarioInvalidValue,
+                     "scenario.nodes_per_pod",
+                     StrFormat("fat-tree fabric requires nodes_per_pod >= 1 "
+                               "(got %d)",
+                               spec.nodes_per_pod));
+      } else if (shape_ok && spec.nodes % spec.nodes_per_pod != 0) {
+        sink->Report(Severity::kError, kLintScenarioInvalidValue,
+                     "scenario.nodes_per_pod",
+                     StrFormat("nodes_per_pod %d must divide nodes %d",
+                               spec.nodes_per_pod, spec.nodes),
+                     {{"nodes_per_pod", StrFormat("%d", spec.nodes_per_pod)},
+                      {"nodes", StrFormat("%d", spec.nodes)}});
+      }
+    } else if (spec.nodes_per_pod != 0) {
+      sink->Report(Severity::kWarn, kLintScenarioFabricFieldIgnored,
+                   "scenario.nodes_per_pod",
+                   StrFormat("nodes_per_pod only applies to fat-tree "
+                             "fabrics (fabric is %s); the field is ignored",
+                             topo::FabricKindName(fabric_kind)));
+    }
+    if (fabric_kind != topo::FabricSpec::Kind::kFlat) {
+      if (spec.oversubscription != 0.0 && spec.oversubscription < 1.0) {
+        sink->Report(Severity::kError, kLintScenarioInvalidValue,
+                     "scenario.oversubscription",
+                     StrFormat("oversubscription %.4f must be >= 1 "
+                               "(1 = non-blocking)",
+                               spec.oversubscription));
+      }
+    } else if (spec.oversubscription != 0.0) {
+      sink->Report(Severity::kWarn, kLintScenarioFabricFieldIgnored,
+                   "scenario.oversubscription",
+                   "oversubscription only applies to hierarchical fabrics "
+                   "(fabric is flat); the field is ignored");
+    }
   }
   for (size_t i = 0; i < spec.phases.size(); ++i) {
     if (!scenario::SituationIdByName(spec.phases[i]).ok()) {

@@ -69,6 +69,10 @@ inline constexpr char kLintScenarioGpuOutOfRange[] =
     "scenario.gpu-out-of-range";
 inline constexpr char kLintScenarioDuplicateStraggler[] =
     "scenario.duplicate-straggler";
+inline constexpr char kLintScenarioUnknownFabric[] =
+    "scenario.unknown-fabric";
+inline constexpr char kLintScenarioFabricFieldIgnored[] =
+    "scenario.fabric-field-ignored";
 
 inline constexpr char kLintGraphMalformedSchedule[] =
     "graph.malformed-schedule";

@@ -64,10 +64,23 @@ struct Link {
 
 /// \brief The directional link graph of a ClusterSpec.
 ///
-/// Link layout (ids are stable for a given cluster shape):
-///   [0, 2G)            per-GPU NVLink ports, alternating out/in;
-///   [2G, 2G + 2N)      per-node NIC ports, alternating out/in
-/// with G = num_gpus, N = num_nodes.
+/// Link layout (ids are stable for a given cluster shape; sections are
+/// fabric-kind dependent but always in this order):
+///   [0, 2G)            per-GPU NVLink ports, alternating out/in (all kinds);
+///   flat / fat-tree:
+///     [2G, 2G + 2N)    per-node NIC ports, alternating out/in;
+///     fat-tree only:
+///     [2G + 2N, 2G + 2N + 2P)  per-pod spine uplinks, alternating up/down;
+///   rail-optimized:
+///     [2G, 4G)         per-GPU NIC ports, alternating out/in;
+///     [4G, 4G + 2R)    per-rail spine uplinks, alternating up/down
+/// with G = num_gpus, N = num_nodes, P = num_pods, R = gpus_per_node.
+///
+/// Hierarchical routes are deterministic: a cross-pod fat-tree transfer
+/// always crosses exactly pod(src).up then pod(dst).down (single logical
+/// spine), and a cross-rail transfer crosses rail(src).up then
+/// rail(dst).down. Oversubscription shows up as reduced uplink capacity,
+/// not as routing randomness, which keeps FlowSim bit-deterministic.
 class Fabric {
  public:
   /// Builds the fabric of `cluster` (which must outlive the Fabric).
@@ -79,8 +92,18 @@ class Fabric {
 
   LinkId GpuOut(topo::GpuId gpu) const { return 2 * gpu; }
   LinkId GpuIn(topo::GpuId gpu) const { return 2 * gpu + 1; }
-  LinkId NicOut(topo::NodeId node) const { return nic_base_ + 2 * node; }
-  LinkId NicIn(topo::NodeId node) const { return nic_base_ + 2 * node + 1; }
+  /// Per-node NIC ports (flat and fat-tree fabrics only).
+  LinkId NicOut(topo::NodeId node) const;
+  LinkId NicIn(topo::NodeId node) const;
+  /// Per-pod spine uplinks (fat-tree fabrics only).
+  LinkId PodUp(int pod) const;
+  LinkId PodDown(int pod) const;
+  /// Per-GPU NIC ports (rail-optimized fabrics only).
+  LinkId GpuNicOut(topo::GpuId gpu) const;
+  LinkId GpuNicIn(topo::GpuId gpu) const;
+  /// Per-rail spine uplinks (rail-optimized fabrics only).
+  LinkId RailUp(int rail) const;
+  LinkId RailDown(int rail) const;
 
   /// The directional links a `src` -> `dst` transfer crosses, in path
   /// order. Empty when src == dst (loopback moves no bytes).
@@ -94,6 +117,8 @@ class Fabric {
   const topo::ClusterSpec* cluster_;
   std::vector<Link> links_;
   int nic_base_ = 0;
+  int pod_base_ = 0;
+  int rail_base_ = 0;
 };
 
 }  // namespace net

@@ -131,6 +131,19 @@ Result<ScenarioSpec> ParseScenarioString(const std::string& text) {
       spec.seed = static_cast<uint64_t>(n);
     } else if (key == "net_model") {
       spec.net_model = value;
+    } else if (key == "fabric") {
+      spec.fabric = value;
+    } else if (key == "nodes_per_pod") {
+      if (!ParseInt64(value, &n)) {
+        return LineError(line_no, "bad nodes_per_pod");
+      }
+      spec.nodes_per_pod = static_cast<int>(n);
+    } else if (key == "oversubscription") {
+      double d = 0.0;
+      if (!ParseDouble(value, &d)) {
+        return LineError(line_no, "bad oversubscription");
+      }
+      spec.oversubscription = d;
     } else if (key == "phase") {
       spec.phases.push_back(value);
     } else if (key == "straggler") {
@@ -158,6 +171,15 @@ std::string SerializeScenario(const ScenarioSpec& spec) {
                    static_cast<unsigned long long>(spec.seed));
   if (!spec.net_model.empty()) {
     out += "net_model = " + spec.net_model + "\n";
+  }
+  if (!spec.fabric.empty()) {
+    out += "fabric = " + spec.fabric + "\n";
+  }
+  if (spec.nodes_per_pod != 0) {
+    out += StrFormat("nodes_per_pod = %d\n", spec.nodes_per_pod);
+  }
+  if (spec.oversubscription != 0.0) {
+    out += StrFormat("oversubscription = %.17g\n", spec.oversubscription);
   }
   for (const std::string& phase : spec.phases) {
     out += "phase = " + phase + "\n";
@@ -221,7 +243,32 @@ Result<ResolvedScenario> ResolveScenario(const ScenarioSpec& spec) {
   if (spec.batch < 1 || spec.steps < 1) {
     return Status::InvalidArgument("batch and steps must be >= 1");
   }
-  out.cluster = topo::ClusterSpec(spec.nodes, spec.gpus_per_node);
+  topo::FabricSpec fabric;
+  if (!spec.fabric.empty()) {
+    MALLEUS_ASSIGN_OR_RETURN(fabric.kind, topo::ParseFabricKind(spec.fabric));
+  }
+  if (fabric.kind == topo::FabricSpec::Kind::kFatTree) {
+    if (spec.nodes_per_pod <= 0) {
+      return Status::InvalidArgument(
+          "fat-tree fabric requires nodes_per_pod > 0");
+    }
+    if (spec.nodes % spec.nodes_per_pod != 0) {
+      return Status::InvalidArgument(
+          StrFormat("nodes_per_pod=%d must divide nodes=%d",
+                    spec.nodes_per_pod, spec.nodes));
+    }
+    fabric.nodes_per_pod = spec.nodes_per_pod;
+  }
+  if (fabric.kind != topo::FabricSpec::Kind::kFlat &&
+      spec.oversubscription != 0.0) {
+    if (spec.oversubscription < 1.0) {
+      return Status::InvalidArgument(
+          "oversubscription must be >= 1 (1 = non-blocking)");
+    }
+    fabric.oversubscription = spec.oversubscription;
+  }
+  out.cluster = topo::ClusterSpec(spec.nodes, spec.gpus_per_node,
+                                  topo::GpuSpec(), topo::LinkSpec(), fabric);
   out.net_model = net::DefaultNetModel();
   if (!spec.net_model.empty()) {
     MALLEUS_ASSIGN_OR_RETURN(out.net_model,

@@ -14,6 +14,12 @@
 //   straggler = 9:2        # GPU 9 runs at straggler level 2
 //   straggler = 17:x2.5    # GPU 17 at an explicit rate of 2.5
 //
+// Hierarchical fabrics (the default is a flat non-blocking spine):
+//
+//   fabric = fat-tree       # or "rail", or the default "flat"
+//   nodes_per_pod = 4       # fat-tree only; must divide nodes
+//   oversubscription = 4    # spine taper ratio, >= 1 (1 = non-blocking)
+//
 // Parsing is purely syntactic: unknown keys, malformed lines and
 // unparsable numbers fail with a Status naming the line. Semantic
 // validity (model names, phase names, GPU ranges, rate ranges) is the
@@ -56,6 +62,12 @@ struct ScenarioSpec {
   uint64_t seed = 42;
   /// "analytic" / "flow"; empty picks net::DefaultNetModel().
   std::string net_model;
+  /// "flat" / "fat-tree" / "rail"; empty means flat.
+  std::string fabric;
+  /// Fat-tree pod size in nodes; 0 = unset. Ignored for other fabrics.
+  int nodes_per_pod = 0;
+  /// Spine taper ratio; 0 = unset (non-blocking). Ignored for flat fabrics.
+  double oversubscription = 0.0;
   /// Canonical situation names ("normal", "s1".."s6"), in trace order.
   std::vector<std::string> phases;
   std::vector<StragglerEntry> stragglers;

@@ -68,6 +68,23 @@ scenario::ScenarioSpec GenerateScenario(Rng* rng,
   spec.net_model = Weighted<std::string>(rng, {"", "analytic", "flow"},
                                          {0.5, 0.25, 0.25});
 
+  // Hierarchical fabrics: mostly flat (the seed shape), with fat-tree and
+  // rail draws so route construction, spine contention, and the fabric
+  // lint/resolve agreement get fuzzed. Pod sizes that do not divide
+  // `nodes` are drawn on purpose — lint must flag them and resolve must
+  // refuse them, never crash.
+  spec.fabric = Weighted<std::string>(rng, {"", "flat", "fat-tree", "rail"},
+                                      {0.55, 0.05, 0.25, 0.15});
+  if (spec.fabric == "fat-tree") {
+    spec.nodes_per_pod =
+        Weighted<int>(rng, {1, 2, 3, 4}, {0.3, 0.35, 0.1, 0.25});
+  }
+  if (!spec.fabric.empty() && spec.fabric != "flat" &&
+      rng->Uniform() < 0.6) {
+    spec.oversubscription =
+        Weighted<double>(rng, {1.0, 2.0, 4.0, 8.0}, {0.3, 0.3, 0.3, 0.1});
+  }
+
   // Trace phases: empty (overlay-only), or a few canonical situations with
   // extra weight on the multi-straggler ones (s5/s6 stress whole nodes).
   const int num_phases = static_cast<int>(rng->UniformInt(0, 3));

@@ -598,6 +598,67 @@ OracleOutcome RunOracles(const scenario::ScenarioSpec& spec,
     }
   }
 
+  // ----- differential.flowsim-incremental --------------------------------
+  //
+  // The incremental max–min engine (component-restricted water-filling +
+  // indexed arrival queue) must reproduce the legacy from-scratch engine
+  // bit for bit. The workload is the plan's grad-sync lowering twice: once
+  // as the estimator submits it (all rings at t=0) and once with each
+  // ring's start staggered, so arrivals and drains genuinely interleave
+  // and the incremental engine's dirty-component tracking is exercised
+  // across many membership changes.
+  {
+    ctx.Ran("differential.flowsim-incremental");
+    const net::Fabric fabric(cluster);
+    net::FlowSim inc(fabric, net::FlowSimMode::kIncremental);
+    net::FlowSim leg(fabric, net::FlowSimMode::kLegacy);
+    const std::vector<plan::GradSyncRing> rings =
+        plan::CollectGradSyncRings(p, cost, cluster);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t r = 0; r < rings.size(); ++r) {
+        const plan::GradSyncRing& ring = rings[r];
+        const double bytes_per_hop =
+            ring.bytes_per_gpu * (dp - 1.0) / std::max(dp, 1);
+        const double start =
+            pass == 0 ? 0.0 : 1e-4 * static_cast<double>(r + 1);
+        net::SubmitRing(&inc, ring.peers, bytes_per_hop, start,
+                        2.0 * dp * ring.hop_latency);
+        net::SubmitRing(&leg, ring.peers, bytes_per_hop, start,
+                        2.0 * dp * ring.hop_latency);
+      }
+    }
+    inc.Run();
+    leg.Run();
+    std::string diff;
+    if (!SameDouble(inc.MakespanSeconds(), leg.MakespanSeconds())) {
+      diff = StrFormat("makespan incremental=%.17g vs legacy=%.17g",
+                       inc.MakespanSeconds(), leg.MakespanSeconds());
+    }
+    for (size_t i = 0; diff.empty() && i < inc.outcomes().size(); ++i) {
+      if (!SameDouble(inc.outcomes()[i].end_seconds,
+                      leg.outcomes()[i].end_seconds) ||
+          !SameDouble(inc.outcomes()[i].seconds, leg.outcomes()[i].seconds)) {
+        diff = StrFormat("flow %zu end incremental=%.17g vs legacy=%.17g", i,
+                         inc.outcomes()[i].end_seconds,
+                         leg.outcomes()[i].end_seconds);
+      }
+    }
+    for (int l = 0; diff.empty() && l < fabric.num_links(); ++l) {
+      const net::LinkUsage& a = inc.link_usage()[l];
+      const net::LinkUsage& b = leg.link_usage()[l];
+      if (!SameDouble(a.bytes, b.bytes) ||
+          !SameDouble(a.peak_utilization, b.peak_utilization)) {
+        diff = StrFormat("link %s bytes/peak incremental=%.17g/%.17g vs "
+                         "legacy=%.17g/%.17g",
+                         fabric.link(l).name.c_str(), a.bytes,
+                         a.peak_utilization, b.bytes, b.peak_utilization);
+      }
+    }
+    if (!diff.empty()) {
+      ctx.Violate("differential.flowsim-incremental", diff);
+    }
+  }
+
   return out;
 }
 

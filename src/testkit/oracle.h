@@ -14,6 +14,10 @@
 //     differential.sim-replay        the noisy simulator replayed with the
 //                                    same Rng seed is bit-identical (under
 //                                    OracleOptions::sim_net_model)
+//     differential.flowsim-incremental  the incremental max–min FlowSim ==
+//                                    the legacy from-scratch engine bitwise
+//                                    (outcomes, makespan, link usage) on
+//                                    the plan's grad-sync lowering
 //
 //   metamorphic — a known input transformation with a known output bound:
 //     metamorphic.straggler-monotone-plan    worsening one GPU's rate never

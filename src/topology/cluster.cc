@@ -1,9 +1,34 @@
 #include "topology/cluster.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace malleus {
 namespace topo {
+
+const char* FabricKindName(FabricSpec::Kind kind) {
+  switch (kind) {
+    case FabricSpec::Kind::kFlat:
+      return "flat";
+    case FabricSpec::Kind::kFatTree:
+      return "fat-tree";
+    case FabricSpec::Kind::kRail:
+      return "rail";
+  }
+  return "flat";
+}
+
+Result<FabricSpec::Kind> ParseFabricKind(const std::string& name) {
+  if (name == "flat") return FabricSpec::Kind::kFlat;
+  if (name == "fat-tree" || name == "fattree" || name == "fat_tree") {
+    return FabricSpec::Kind::kFatTree;
+  }
+  if (name == "rail") return FabricSpec::Kind::kRail;
+  return Status::InvalidArgument(
+      StrFormat("unknown fabric kind '%s' (expected flat, fat-tree, or rail)",
+                name.c_str()));
+}
 
 std::vector<GpuId> ClusterSpec::GpusOnNode(NodeId node) const {
   std::vector<GpuId> out;
@@ -22,14 +47,35 @@ std::vector<GpuId> ClusterSpec::AllGpus() const {
 }
 
 double ClusterSpec::BandwidthBytesPerSec(GpuId a, GpuId b) const {
-  const double gbps =
-      SameNode(a, b) ? link_.intra_node_gbps : link_.inter_node_gbps;
-  return gbps * 1e9;
+  if (SameNode(a, b)) return link_.intra_node_gbps * 1e9;
+  double bw = link_.inter_node_gbps * 1e9;
+  switch (fabric_.kind) {
+    case FabricSpec::Kind::kFlat:
+      break;
+    case FabricSpec::Kind::kFatTree:
+      if (!SamePod(a, b)) bw = std::min(bw, PodUplinkBytesPerSec());
+      break;
+    case FabricSpec::Kind::kRail:
+      if (!SameRail(a, b)) bw = std::min(bw, RailUplinkBytesPerSec());
+      break;
+  }
+  return bw;
 }
 
 double ClusterSpec::LatencySec(GpuId a, GpuId b) const {
-  return SameNode(a, b) ? link_.intra_node_latency_s
-                        : link_.inter_node_latency_s;
+  if (SameNode(a, b)) return link_.intra_node_latency_s;
+  double lat = link_.inter_node_latency_s;
+  switch (fabric_.kind) {
+    case FabricSpec::Kind::kFlat:
+      break;
+    case FabricSpec::Kind::kFatTree:
+      if (!SamePod(a, b)) lat += fabric_.spine_latency_s;
+      break;
+    case FabricSpec::Kind::kRail:
+      if (!SameRail(a, b)) lat += fabric_.spine_latency_s;
+      break;
+  }
+  return lat;
 }
 
 Status ClusterSpec::Validate() const {
@@ -49,16 +95,61 @@ Status ClusterSpec::Validate() const {
   if (link_.intra_node_gbps <= 0 || link_.inter_node_gbps <= 0) {
     return Status::InvalidArgument("link bandwidths must be positive");
   }
+  if (fabric_.oversubscription < 1.0) {
+    return Status::InvalidArgument(
+        "fabric oversubscription must be >= 1 (1 = non-blocking)");
+  }
+  if (fabric_.spine_latency_s < 0) {
+    return Status::InvalidArgument("fabric spine latency must be >= 0");
+  }
+  switch (fabric_.kind) {
+    case FabricSpec::Kind::kFlat:
+      if (fabric_.nodes_per_pod != 0) {
+        return Status::InvalidArgument(
+            "nodes_per_pod only applies to fat-tree fabrics");
+      }
+      break;
+    case FabricSpec::Kind::kFatTree:
+      if (fabric_.nodes_per_pod <= 0) {
+        return Status::InvalidArgument(
+            "fat-tree fabric requires nodes_per_pod > 0");
+      }
+      if (num_nodes_ % fabric_.nodes_per_pod != 0) {
+        return Status::InvalidArgument(StrFormat(
+            "nodes_per_pod=%d must divide num_nodes=%d",
+            fabric_.nodes_per_pod, num_nodes_));
+      }
+      break;
+    case FabricSpec::Kind::kRail:
+      if (fabric_.nodes_per_pod != 0) {
+        return Status::InvalidArgument(
+            "nodes_per_pod only applies to fat-tree fabrics");
+      }
+      break;
+  }
   return Status::OK();
 }
 
 std::string ClusterSpec::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "Cluster(%d nodes x %d GPUs, %.0f TFLOPS, %s HBM, "
-      "NVLink %.0f GB/s, IB %.0f GB/s)",
+      "NVLink %.0f GB/s, IB %.0f GB/s",
       num_nodes_, gpus_per_node_, gpu_.peak_tflops,
       FormatBytes(gpu_.memory_bytes).c_str(), link_.intra_node_gbps,
       link_.inter_node_gbps);
+  switch (fabric_.kind) {
+    case FabricSpec::Kind::kFlat:
+      break;
+    case FabricSpec::Kind::kFatTree:
+      out += StrFormat(", fat-tree pods of %d @ %.2f:1",
+                       fabric_.nodes_per_pod, fabric_.oversubscription);
+      break;
+    case FabricSpec::Kind::kRail:
+      out += StrFormat(", rail-optimized @ %.2f:1", fabric_.oversubscription);
+      break;
+  }
+  out += ")";
+  return out;
 }
 
 }  // namespace topo

@@ -43,6 +43,41 @@ struct LinkSpec {
   double inter_node_latency_s = 12e-6;
 };
 
+/// \brief Hierarchical fabric layout above the node tier.
+///
+/// The seed model is a flat non-blocking fabric: every cross-node path gets
+/// the full `inter_node_gbps`. Production clusters are not like that, so two
+/// hierarchical shapes are supported:
+///
+///  - `kFatTree`: nodes are grouped into pods of `nodes_per_pod` leaf-switch
+///    neighbours. Intra-pod traffic is non-blocking; cross-pod traffic funnels
+///    through a per-pod spine uplink of capacity
+///    `nodes_per_pod * inter_node_gbps / oversubscription` and pays
+///    `spine_latency_s` extra one-way latency.
+///  - `kRail`: rail-optimized IB. Each GPU's NIC attaches to the leaf switch
+///    of its rail (= local index), so same-rail cross-node traffic is
+///    non-blocking, while cross-rail traffic crosses the spine through a
+///    per-rail uplink of capacity
+///    `num_nodes * inter_node_gbps / oversubscription`.
+///
+/// `oversubscription` is the standard taper ratio (1.0 = non-blocking,
+/// 4.0 = 4:1 tapered spine).
+struct FabricSpec {
+  enum class Kind { kFlat, kFatTree, kRail };
+
+  Kind kind = Kind::kFlat;
+  int nodes_per_pod = 0;         ///< Fat-tree only; must divide num_nodes.
+  double oversubscription = 1.0;  ///< Spine taper ratio, >= 1.
+  double spine_latency_s = 2e-6;  ///< Extra one-way latency across the spine.
+};
+
+/// Canonical lower-case name for a fabric kind ("flat", "fat-tree", "rail").
+const char* FabricKindName(FabricSpec::Kind kind);
+
+/// Parses a fabric kind name; accepts the canonical names plus "fattree" and
+/// "fat_tree" aliases.
+Result<FabricSpec::Kind> ParseFabricKind(const std::string& name);
+
 /// \brief Describes a homogeneous cluster of `num_nodes` servers with
 /// `gpus_per_node` GPUs each.
 ///
@@ -53,11 +88,12 @@ class ClusterSpec {
  public:
   ClusterSpec() = default;
   ClusterSpec(int num_nodes, int gpus_per_node, GpuSpec gpu = GpuSpec(),
-              LinkSpec link = LinkSpec())
+              LinkSpec link = LinkSpec(), FabricSpec fabric = FabricSpec())
       : num_nodes_(num_nodes),
         gpus_per_node_(gpus_per_node),
         gpu_(gpu),
-        link_(link) {}
+        link_(link),
+        fabric_(fabric) {}
 
   /// Builds the paper's testbed: `num_nodes` x 8 A800-80GB.
   static ClusterSpec A800Cluster(int num_nodes) {
@@ -69,11 +105,43 @@ class ClusterSpec {
   int num_gpus() const { return num_nodes_ * gpus_per_node_; }
   const GpuSpec& gpu() const { return gpu_; }
   const LinkSpec& link() const { return link_; }
+  const FabricSpec& fabric() const { return fabric_; }
 
   NodeId NodeOf(GpuId gpu) const { return gpu / gpus_per_node_; }
   int LocalIndexOf(GpuId gpu) const { return gpu % gpus_per_node_; }
   bool SameNode(GpuId a, GpuId b) const { return NodeOf(a) == NodeOf(b); }
   bool ValidGpu(GpuId gpu) const { return gpu >= 0 && gpu < num_gpus(); }
+
+  /// Pod size in nodes. For a fat-tree this is `fabric().nodes_per_pod`; for
+  /// flat and rail fabrics the whole cluster is one pod.
+  int NodesPerPod() const {
+    return (fabric_.kind == FabricSpec::Kind::kFatTree &&
+            fabric_.nodes_per_pod > 0)
+               ? fabric_.nodes_per_pod
+               : num_nodes_;
+  }
+  int num_pods() const {
+    const int per = NodesPerPod();
+    return per > 0 ? num_nodes_ / per : 0;
+  }
+  int PodOf(NodeId node) const { return node / NodesPerPod(); }
+  bool SamePod(GpuId a, GpuId b) const {
+    return PodOf(NodeOf(a)) == PodOf(NodeOf(b));
+  }
+  /// Rail index of a GPU (rail-optimized fabrics): its local index.
+  int RailOf(GpuId gpu) const { return LocalIndexOf(gpu); }
+  bool SameRail(GpuId a, GpuId b) const { return RailOf(a) == RailOf(b); }
+
+  /// Capacity (bytes/s) of one pod's spine uplink (fat-tree fabrics).
+  double PodUplinkBytesPerSec() const {
+    return NodesPerPod() * link_.inter_node_gbps * 1e9 /
+           fabric_.oversubscription;
+  }
+  /// Capacity (bytes/s) of one rail's spine uplink (rail fabrics).
+  double RailUplinkBytesPerSec() const {
+    return num_nodes_ * link_.inter_node_gbps * 1e9 /
+           fabric_.oversubscription;
+  }
 
   /// All GPU ids on `node`, in local-index order.
   std::vector<GpuId> GpusOnNode(NodeId node) const;
@@ -97,6 +165,7 @@ class ClusterSpec {
   int gpus_per_node_ = 0;
   GpuSpec gpu_;
   LinkSpec link_;
+  FabricSpec fabric_;
 };
 
 }  // namespace topo

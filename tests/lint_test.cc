@@ -231,6 +231,7 @@ TEST_F(LintTest, PassRegistryCoversEveryCode) {
         kLintSituationFailedGpu, kLintScenarioUnknownModel,
         kLintScenarioUnknownPhase, kLintScenarioInvalidValue,
         kLintScenarioGpuOutOfRange, kLintScenarioDuplicateStraggler,
+        kLintScenarioUnknownFabric, kLintScenarioFabricFieldIgnored,
         kLintGraphMalformedSchedule, kLintGraphDeadlock,
         kLintNetNegativeLinkBytes, kLintNetVolumeMismatch,
         kLintNetLinkOvercommit}) {
@@ -587,6 +588,59 @@ TEST_F(LintTest, ScenarioInvalidValue) {
   LintScenario(spec, &sink);
   EXPECT_TRUE(sink.HasCode(kLintScenarioInvalidValue));
   EXPECT_GE(sink.num_errors(), 2);  // Both findings, one pass.
+}
+
+TEST_F(LintTest, ScenarioUnknownFabric) {
+  scenario::ScenarioSpec spec;
+  spec.fabric = "torus";
+  DiagnosticSink sink;
+  LintScenario(spec, &sink);
+  EXPECT_TRUE(sink.HasCode(kLintScenarioUnknownFabric));
+  EXPECT_TRUE(sink.HasErrors());
+
+  scenario::ScenarioSpec ok;
+  ok.fabric = "fat-tree";
+  ok.nodes = 4;
+  ok.nodes_per_pod = 2;
+  DiagnosticSink clean;
+  LintScenario(ok, &clean);
+  EXPECT_TRUE(clean.empty()) << RenderText(clean);
+}
+
+TEST_F(LintTest, ScenarioFabricFieldValidation) {
+  // Fat-tree with a pod size that does not divide the nodes: error.
+  scenario::ScenarioSpec bad_pod;
+  bad_pod.fabric = "fat-tree";
+  bad_pod.nodes = 4;
+  bad_pod.nodes_per_pod = 3;
+  DiagnosticSink pod_sink;
+  LintScenario(bad_pod, &pod_sink);
+  EXPECT_TRUE(pod_sink.HasCode(kLintScenarioInvalidValue));
+
+  // Fat-tree without a pod size: error.
+  scenario::ScenarioSpec no_pod;
+  no_pod.fabric = "fat-tree";
+  DiagnosticSink no_pod_sink;
+  LintScenario(no_pod, &no_pod_sink);
+  EXPECT_TRUE(no_pod_sink.HasCode(kLintScenarioInvalidValue));
+
+  // Oversubscription below 1 on a hierarchical fabric: error.
+  scenario::ScenarioSpec bad_oversub;
+  bad_oversub.fabric = "rail";
+  bad_oversub.oversubscription = 0.5;
+  DiagnosticSink oversub_sink;
+  LintScenario(bad_oversub, &oversub_sink);
+  EXPECT_TRUE(oversub_sink.HasCode(kLintScenarioInvalidValue));
+
+  // Fields that do not apply to the chosen kind: warn, not error.
+  scenario::ScenarioSpec stray;
+  stray.fabric = "flat";
+  stray.nodes_per_pod = 2;
+  stray.oversubscription = 4.0;
+  DiagnosticSink stray_sink;
+  LintScenario(stray, &stray_sink);
+  EXPECT_TRUE(stray_sink.HasCode(kLintScenarioFabricFieldIgnored));
+  EXPECT_FALSE(stray_sink.HasErrors());
 }
 
 TEST_F(LintTest, ScenarioGpuOutOfRange) {

@@ -262,6 +262,128 @@ TEST(FlowStepTest, FlowStepAtLeastAnalytic) {
   EXPECT_GE(seconds[1], seconds[0] * (1.0 - 1e-9));
 }
 
+topo::ClusterSpec FatTreeCluster(int nodes, int gpn, int nodes_per_pod,
+                                 double oversub) {
+  topo::FabricSpec f;
+  f.kind = topo::FabricSpec::Kind::kFatTree;
+  f.nodes_per_pod = nodes_per_pod;
+  f.oversubscription = oversub;
+  return topo::ClusterSpec(nodes, gpn, topo::GpuSpec(), topo::LinkSpec(), f);
+}
+
+topo::ClusterSpec RailCluster(int nodes, int gpn, double oversub) {
+  topo::FabricSpec f;
+  f.kind = topo::FabricSpec::Kind::kRail;
+  f.oversubscription = oversub;
+  return topo::ClusterSpec(nodes, gpn, topo::GpuSpec(), topo::LinkSpec(), f);
+}
+
+TEST(HierFabricTest, FatTreeLinkLayoutAndRoutes) {
+  // 4 nodes x 4 GPUs, pods of 2 nodes: 32 GPU ports + 8 NIC ports + 4 pod
+  // uplinks.
+  const topo::ClusterSpec cluster = FatTreeCluster(4, 4, 2, 4.0);
+  const Fabric fabric(cluster);
+  EXPECT_EQ(fabric.num_links(), 2 * 16 + 2 * 4 + 2 * 2);
+  EXPECT_EQ(fabric.link(fabric.PodUp(0)).name, "pod0.up");
+  EXPECT_EQ(fabric.link(fabric.PodDown(1)).name, "pod1.down");
+  // Pod uplink capacity: 2 x 200 GB/s / 4:1 = 100 GB/s.
+  EXPECT_DOUBLE_EQ(fabric.link(fabric.PodUp(0)).capacity_bps, 100e9);
+
+  // Intra-pod cross-node route: the seed 4-link shape, no spine.
+  const std::vector<LinkId> intra_pod = fabric.Route(0, 4);
+  ASSERT_EQ(intra_pod.size(), 4u);
+  EXPECT_EQ(intra_pod[1], fabric.NicOut(0));
+  EXPECT_EQ(intra_pod[2], fabric.NicIn(1));
+
+  // Cross-pod route is deterministic: src pod up, then dst pod down.
+  const std::vector<LinkId> cross_pod = fabric.Route(0, 12);
+  ASSERT_EQ(cross_pod.size(), 6u);
+  EXPECT_EQ(cross_pod[0], fabric.GpuOut(0));
+  EXPECT_EQ(cross_pod[1], fabric.NicOut(0));
+  EXPECT_EQ(cross_pod[2], fabric.PodUp(0));
+  EXPECT_EQ(cross_pod[3], fabric.PodDown(1));
+  EXPECT_EQ(cross_pod[4], fabric.NicIn(3));
+  EXPECT_EQ(cross_pod[5], fabric.GpuIn(12));
+  EXPECT_DOUBLE_EQ(fabric.PathBandwidth(0, 12),
+                   cluster.BandwidthBytesPerSec(0, 12));
+}
+
+TEST(HierFabricTest, RailLinkLayoutAndRoutes) {
+  // 2 nodes x 4 GPUs rail-optimized: 16 GPU ports + 16 per-GPU NIC ports +
+  // 8 rail uplinks.
+  const topo::ClusterSpec cluster = RailCluster(2, 4, 2.0);
+  const Fabric fabric(cluster);
+  EXPECT_EQ(fabric.num_links(), 2 * 8 + 2 * 8 + 2 * 4);
+  EXPECT_EQ(fabric.link(fabric.GpuNicOut(3)).name, "gpu3.nic.out");
+  EXPECT_EQ(fabric.link(fabric.RailUp(2)).name, "rail2.up");
+  // Rail uplink: 2 nodes x 200 GB/s / 2:1 = 200 GB/s.
+  EXPECT_DOUBLE_EQ(fabric.link(fabric.RailUp(0)).capacity_bps, 200e9);
+
+  // Same node: NVLink, never the NICs.
+  EXPECT_EQ(fabric.Route(0, 1).size(), 2u);
+  // Same rail cross-node: per-GPU NICs, no spine.
+  const std::vector<LinkId> same_rail = fabric.Route(1, 5);
+  ASSERT_EQ(same_rail.size(), 4u);
+  EXPECT_EQ(same_rail[1], fabric.GpuNicOut(1));
+  EXPECT_EQ(same_rail[2], fabric.GpuNicIn(5));
+  // Cross rail: src rail up, dst rail down.
+  const std::vector<LinkId> cross_rail = fabric.Route(0, 5);
+  ASSERT_EQ(cross_rail.size(), 6u);
+  EXPECT_EQ(cross_rail[2], fabric.RailUp(0));
+  EXPECT_EQ(cross_rail[3], fabric.RailDown(1));
+}
+
+TEST(HierFabricTest, OversubscribedSpineContention) {
+  // 2 pods x 2 nodes x 2 GPUs at 4:1: the pod-0 uplink tapers to
+  // 2 x 200 / 4 = 100 GB/s. Two concurrent cross-pod flows from different
+  // nodes of pod 0 have dedicated NICs but share that uplink, so each gets
+  // 50 GB/s — 4x slower than the un-tapered NIC-limited transfer.
+  const topo::ClusterSpec cluster = FatTreeCluster(4, 2, 2, 4.0);
+  const Fabric fabric(cluster);
+  const double bytes = 10e9;
+  FlowSim fs(fabric);
+  const int64_t a = fs.Submit({0, 4, bytes, 0.0, /*latency_seconds=*/0.0});
+  const int64_t b = fs.Submit({2, 6, bytes, 0.0, /*latency_seconds=*/0.0});
+  fs.Run();
+  EXPECT_LT(RelDiff(fs.outcome(a).seconds, bytes / 50e9), 0.01);
+  EXPECT_LT(RelDiff(fs.outcome(b).seconds, bytes / 50e9), 0.01);
+  const LinkUsage& up = fs.link_usage()[fabric.PodUp(0)];
+  EXPECT_DOUBLE_EQ(up.bytes, 2.0 * bytes);
+  EXPECT_DOUBLE_EQ(up.peak_utilization, 1.0);
+}
+
+TEST(HierFabricTest, IncrementalMatchesLegacyBitwise) {
+  // The incremental max–min engine must be bit-identical to the
+  // from-scratch legacy engine, including on hierarchical fabrics with
+  // staggered arrivals and shared spine uplinks.
+  const topo::ClusterSpec cluster = FatTreeCluster(4, 4, 2, 2.0);
+  const Fabric fabric(cluster);
+  FlowSim inc(fabric, FlowSimMode::kIncremental);
+  FlowSim leg(fabric, FlowSimMode::kLegacy);
+  int64_t n = 0;
+  for (FlowSim* fs : {&inc, &leg}) {
+    n = 0;
+    for (topo::GpuId src = 0; src < cluster.num_gpus(); ++src) {
+      const topo::GpuId dst = (src * 7 + 5) % cluster.num_gpus();
+      if (dst == src) continue;
+      fs->Submit({src, dst, 1e9 + 1e8 * src, 1e-4 * (src % 5)});
+      ++n;
+    }
+    fs->Run();
+  }
+  EXPECT_DOUBLE_EQ(inc.MakespanSeconds(), leg.MakespanSeconds());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(inc.outcome(i).seconds, leg.outcome(i).seconds) << i;
+    EXPECT_DOUBLE_EQ(inc.outcome(i).end_seconds, leg.outcome(i).end_seconds)
+        << i;
+  }
+  for (int l = 0; l < fabric.num_links(); ++l) {
+    EXPECT_DOUBLE_EQ(inc.link_usage()[l].bytes, leg.link_usage()[l].bytes);
+    EXPECT_DOUBLE_EQ(inc.link_usage()[l].peak_utilization,
+                     leg.link_usage()[l].peak_utilization);
+  }
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace malleus

@@ -5,11 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/planner.h"
+#include "exec/thread_pool.h"
 #include "model/cost_model.h"
 #include "obs/metrics.h"
 #include "straggler/situation.h"
@@ -126,7 +128,13 @@ TEST_F(PlannerParallelTest, CacheMetricsAreRecorded) {
   EXPECT_GT(registry.GetCounter("planner.cache_hits")->Value(), hits_before);
   EXPECT_GT(registry.GetCounter("planner.cache_misses")->Value(),
             misses_before);
-  EXPECT_EQ(registry.GetGauge("planner.threads")->Value(), 2.0);
+  // The requested 2 workers are clamped by the physical core count and the
+  // minimum-work-per-worker rule (a tiny sweep runs inline), so the gauge
+  // records between 1 and min(2, cap) — never more than was asked for.
+  const double threads_gauge = registry.GetGauge("planner.threads")->Value();
+  EXPECT_GE(threads_gauge, 1.0);
+  EXPECT_LE(threads_gauge,
+            static_cast<double>(std::min(2, exec::ConcurrencyCap())));
 }
 
 TEST_F(PlannerParallelTest, EnvironmentDefaultMatchesPinnedThreadCount) {

@@ -255,6 +255,59 @@ TEST(ScenarioSerializeTest, RoundTripsEveryField) {
   ExpectRoundTrips(spec);
 }
 
+TEST(ScenarioSerializeTest, RoundTripsFabricFields) {
+  ScenarioSpec spec;
+  spec.fabric = "fat-tree";
+  spec.nodes = 8;
+  spec.nodes_per_pod = 2;
+  spec.oversubscription = 4.0;
+  ExpectRoundTrips(spec);
+  ScenarioSpec rail;
+  rail.fabric = "rail";
+  rail.oversubscription = 2.0;
+  ExpectRoundTrips(rail);
+}
+
+TEST(ScenarioResolveTest, ResolvesHierarchicalFabrics) {
+  ScenarioSpec spec;
+  spec.nodes = 8;
+  spec.fabric = "fat-tree";
+  spec.nodes_per_pod = 4;
+  spec.oversubscription = 2.0;
+  Result<ResolvedScenario> resolved = ResolveScenario(spec);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved->cluster.fabric().kind,
+            topo::FabricSpec::Kind::kFatTree);
+  EXPECT_EQ(resolved->cluster.num_pods(), 2);
+  EXPECT_DOUBLE_EQ(resolved->cluster.fabric().oversubscription, 2.0);
+
+  ScenarioSpec bad_kind;
+  bad_kind.fabric = "torus";
+  EXPECT_FALSE(ResolveScenario(bad_kind).ok());
+
+  ScenarioSpec bad_pod;
+  bad_pod.nodes = 4;
+  bad_pod.fabric = "fat-tree";
+  bad_pod.nodes_per_pod = 3;  // Does not divide 4 nodes.
+  EXPECT_FALSE(ResolveScenario(bad_pod).ok());
+
+  ScenarioSpec bad_oversub;
+  bad_oversub.fabric = "rail";
+  bad_oversub.oversubscription = 0.5;
+  EXPECT_FALSE(ResolveScenario(bad_oversub).ok());
+
+  // On a flat fabric the extra fields are ignored, not fatal (the lint
+  // pass warns about them).
+  ScenarioSpec flat;
+  flat.fabric = "flat";
+  flat.nodes_per_pod = 2;
+  flat.oversubscription = 4.0;
+  Result<ResolvedScenario> flat_resolved = ResolveScenario(flat);
+  ASSERT_TRUE(flat_resolved.ok()) << flat_resolved.status().ToString();
+  EXPECT_EQ(flat_resolved->cluster.fabric().kind,
+            topo::FabricSpec::Kind::kFlat);
+}
+
 TEST(ScenarioSerializeTest, SerializedTextIsStable) {
   // The fuzzer hashes reports containing serialized scenarios; the
   // rendering must be canonical.

@@ -72,6 +72,111 @@ TEST(ClusterTest, ValidationCatchesBadShapes) {
   EXPECT_FALSE(ClusterSpec(2, 8, oom).Validate().ok());
 }
 
+FabricSpec FatTree(int nodes_per_pod, double oversub) {
+  FabricSpec f;
+  f.kind = FabricSpec::Kind::kFatTree;
+  f.nodes_per_pod = nodes_per_pod;
+  f.oversubscription = oversub;
+  return f;
+}
+
+FabricSpec Rail(double oversub) {
+  FabricSpec f;
+  f.kind = FabricSpec::Kind::kRail;
+  f.oversubscription = oversub;
+  return f;
+}
+
+TEST(FabricSpecTest, KindNamesRoundTrip) {
+  EXPECT_STREQ(FabricKindName(FabricSpec::Kind::kFlat), "flat");
+  EXPECT_STREQ(FabricKindName(FabricSpec::Kind::kFatTree), "fat-tree");
+  EXPECT_STREQ(FabricKindName(FabricSpec::Kind::kRail), "rail");
+  EXPECT_EQ(ParseFabricKind("fat-tree").ValueOrDie(),
+            FabricSpec::Kind::kFatTree);
+  EXPECT_EQ(ParseFabricKind("fattree").ValueOrDie(),
+            FabricSpec::Kind::kFatTree);
+  EXPECT_EQ(ParseFabricKind("fat_tree").ValueOrDie(),
+            FabricSpec::Kind::kFatTree);
+  EXPECT_EQ(ParseFabricKind("rail").ValueOrDie(), FabricSpec::Kind::kRail);
+  EXPECT_EQ(ParseFabricKind("flat").ValueOrDie(), FabricSpec::Kind::kFlat);
+  EXPECT_FALSE(ParseFabricKind("dragonfly").ok());
+}
+
+TEST(FabricSpecTest, FatTreePodsAndUplinks) {
+  const ClusterSpec c(8, 8, GpuSpec(), LinkSpec(), FatTree(2, 4.0));
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.NodesPerPod(), 2);
+  EXPECT_EQ(c.num_pods(), 4);
+  EXPECT_EQ(c.PodOf(0), 0);
+  EXPECT_EQ(c.PodOf(1), 0);
+  EXPECT_EQ(c.PodOf(2), 1);
+  EXPECT_TRUE(c.SamePod(0, 15));    // Nodes 0 and 1.
+  EXPECT_FALSE(c.SamePod(0, 16));   // Nodes 0 and 2.
+  // Pod uplink: 2 nodes x 200 GB/s / 4:1 taper = 100 GB/s.
+  EXPECT_DOUBLE_EQ(c.PodUplinkBytesPerSec(), 100e9);
+  // Cross-pod bandwidth is gated by the uplink; intra-pod is not.
+  EXPECT_DOUBLE_EQ(c.BandwidthBytesPerSec(0, 8), 200e9);
+  EXPECT_DOUBLE_EQ(c.BandwidthBytesPerSec(0, 16), 100e9);
+  // Cross-pod pays the spine latency on top of the inter-node latency.
+  EXPECT_GT(c.LatencySec(0, 16), c.LatencySec(0, 8));
+}
+
+TEST(FabricSpecTest, RailUplinksAndSameRail) {
+  const ClusterSpec c(4, 8, GpuSpec(), LinkSpec(), Rail(2.0));
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.RailOf(0), 0);
+  EXPECT_EQ(c.RailOf(9), 1);
+  EXPECT_TRUE(c.SameRail(1, 9));
+  EXPECT_FALSE(c.SameRail(0, 9));
+  // Rail uplink: 4 nodes x 200 GB/s / 2:1 taper = 400 GB/s — wider than a
+  // single NIC, so same- and cross-rail bandwidth agree here.
+  EXPECT_DOUBLE_EQ(c.RailUplinkBytesPerSec(), 400e9);
+  EXPECT_DOUBLE_EQ(c.BandwidthBytesPerSec(0, 8), 200e9);
+  // An 8:1 taper narrows the cross-rail path below the NIC.
+  const ClusterSpec tapered(4, 8, GpuSpec(), LinkSpec(), Rail(8.0));
+  EXPECT_DOUBLE_EQ(tapered.BandwidthBytesPerSec(0, 9), 100e9);
+  EXPECT_DOUBLE_EQ(tapered.BandwidthBytesPerSec(0, 8), 200e9);
+}
+
+TEST(FabricSpecTest, ValidationCatchesBadFabrics) {
+  // nodes_per_pod must divide the node count.
+  EXPECT_FALSE(
+      ClusterSpec(8, 8, GpuSpec(), LinkSpec(), FatTree(3, 1.0))
+          .Validate()
+          .ok());
+  // Fat-tree requires a pod size.
+  EXPECT_FALSE(
+      ClusterSpec(8, 8, GpuSpec(), LinkSpec(), FatTree(0, 1.0))
+          .Validate()
+          .ok());
+  // Oversubscription below 1 would mint bandwidth.
+  EXPECT_FALSE(
+      ClusterSpec(8, 8, GpuSpec(), LinkSpec(), FatTree(2, 0.5))
+          .Validate()
+          .ok());
+  // Flat and rail fabrics reject a stray pod size.
+  FabricSpec stray = Rail(1.0);
+  stray.nodes_per_pod = 2;
+  EXPECT_FALSE(ClusterSpec(8, 8, GpuSpec(), LinkSpec(), stray)
+                   .Validate()
+                   .ok());
+  FabricSpec neg = FatTree(2, 1.0);
+  neg.spine_latency_s = -1e-6;
+  EXPECT_FALSE(
+      ClusterSpec(8, 8, GpuSpec(), LinkSpec(), neg).Validate().ok());
+}
+
+TEST(FabricSpecTest, ToStringNamesHierarchicalFabrics) {
+  const ClusterSpec flat(2, 8);
+  const ClusterSpec ft(8, 8, GpuSpec(), LinkSpec(), FatTree(4, 2.0));
+  const ClusterSpec rail(4, 8, GpuSpec(), LinkSpec(), Rail(2.0));
+  EXPECT_EQ(flat.ToString().find("fat-tree"), std::string::npos);
+  EXPECT_NE(ft.ToString().find("fat-tree"), std::string::npos);
+  EXPECT_NE(rail.ToString().find("rail"), std::string::npos);
+  // Fabric-aware ToString differentiates planner cache fingerprints.
+  EXPECT_NE(ft.ToString(), ClusterSpec(8, 8).ToString());
+}
+
 }  // namespace
 }  // namespace topo
 }  // namespace malleus

@@ -28,6 +28,11 @@
 #                              #   the malleus_served smoke under
 #                              #   ASan/UBSan, then serve_test under TSan
 #                              #   with 4 workers/planner threads
+#   tools/check.sh --scale     # kilo-GPU smoke: plan + flow-level sim of
+#                              #   the examples/scenarios/scale/ fat-tree
+#                              #   scenarios (1024 GPUs end-to-end, 2048
+#                              #   GPUs plan-only) under ASan/UBSan, plus
+#                              #   scale_test in the sanitized build
 #
 # Fuzz preset (--fuzz) — the seeded scenario fuzzer (tools/malleus_fuzz,
 # DESIGN.md §11) over 200 runs per net model, in the ASan/UBSan build, so
@@ -60,6 +65,7 @@ for arg in "$@"; do
     --fuzz) MODE=fuzz ;;
     --whatif) MODE=whatif ;;
     --serve) MODE=serve ;;
+    --scale) MODE=scale ;;
     --fast) FAST=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -238,6 +244,28 @@ if [[ "$MODE" == "whatif" ]]; then
   done
   echo "OK: recorded + swept every example scenario under ASan/UBSan" \
        "(analytic + flow net models, byte-identical repeat reports)"
+  exit 0
+fi
+
+if [[ "$MODE" == "scale" ]]; then
+  # Kilo-GPU scale-out smoke in the instrumented build: hierarchical
+  # planning and the incremental flow simulator on pod-structured
+  # fat-trees, where a memory bug would scale with the cluster. The
+  # 1024-GPU scenario runs its full phase trace end-to-end; the 2048-GPU
+  # acceptance case plans one normal phase (ASan makes the full trace
+  # needlessly slow for a smoke); scale_test re-checks plan validity,
+  # determinism and the island-memo delta re-plan, sanitized.
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target scenario_cli scale_test
+  echo "== 1024-GPU fat-tree scenario (plan + flow sim, ASan/UBSan) =="
+  "$BUILD_DIR/examples/scenario_cli" \
+    --scenario=examples/scenarios/scale/fat_tree_1024.scenario >/dev/null
+  echo "== 2048-GPU fat-tree scenario (plan, normal phase, ASan/UBSan) =="
+  "$BUILD_DIR/examples/scenario_cli" \
+    --scenario=examples/scenarios/scale/fat_tree_2048.scenario \
+    --trace=normal >/dev/null
+  echo "== scale_test (ASan/UBSan) =="
+  "$BUILD_DIR/tests/scale_test"
+  echo "OK: kilo-GPU planning + flow sim clean under ASan/UBSan"
   exit 0
 fi
 
