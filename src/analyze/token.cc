@@ -1,0 +1,264 @@
+#include "analyze/token.h"
+
+#include <cctype>
+
+namespace malleus {
+namespace analyze {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuation, longest first so greedy matching works.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",
+};
+
+// Parses every detlint:allow occurrence inside the comment text `body`,
+// attributing them to `line` (the line the comment starts on; for
+// multi-line block comments annotations should sit on the first line — in
+// practice they are single-line).
+void ParseAllows(const std::string& body, int line,
+                 std::vector<AllowAnnotation>* allows) {
+  const std::string marker = "detlint:allow(";
+  size_t pos = 0;
+  while ((pos = body.find(marker, pos)) != std::string::npos) {
+    pos += marker.size();
+    const size_t close = body.find(')', pos);
+    if (close == std::string::npos) {
+      allows->push_back({line, "", ""});
+      return;
+    }
+    const std::string inner = body.substr(pos, close - pos);
+    AllowAnnotation a;
+    a.line = line;
+    const size_t space = inner.find_first_of(" \t");
+    if (space == std::string::npos) {
+      a.code = inner;  // No reason — malformed, reported by the rule pass.
+    } else {
+      a.code = inner.substr(0, space);
+      const size_t rs = inner.find_first_not_of(" \t", space);
+      if (rs != std::string::npos) a.reason = inner.substr(rs);
+    }
+    allows->push_back(std::move(a));
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+bool LexedFile::IsAllowed(const std::string& code, int line) const {
+  for (const AllowAnnotation& a : allows) {
+    if (a.code != code || a.reason.empty()) continue;
+    if (a.line == line || a.line + 1 == line) return true;
+  }
+  return false;
+}
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+
+  const auto advance_over = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consumed to end of line (honoring backslash
+    // continuations). Macro bodies are out of scope for the matchers.
+    if (c == '#') {
+      // Only at start of line (modulo whitespace).
+      size_t back = i;
+      bool line_start = true;
+      while (back > 0) {
+        const char p = source[back - 1];
+        if (p == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(p))) {
+          line_start = false;
+          break;
+        }
+        --back;
+      }
+      if (line_start) {
+        while (i < n) {
+          if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+            advance_over(2);
+            continue;
+          }
+          if (source[i] == '\n') break;
+          ++i;
+        }
+        continue;
+      }
+      out.toks.push_back({TokKind::kPunct, "#", line});
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const size_t end = source.find('\n', i);
+      const std::string body =
+          source.substr(i, (end == std::string::npos ? n : end) - i);
+      ParseAllows(body, line, &out.allows);
+      i = (end == std::string::npos) ? n : end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const size_t end = source.find("*/", i + 2);
+      const size_t stop = (end == std::string::npos) ? n : end + 2;
+      ParseAllows(source.substr(i, stop - i), line, &out.allows);
+      advance_over(stop - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      const size_t open = source.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string delim = source.substr(i + 2, open - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = source.find(closer, open + 1);
+        const size_t stop =
+            (end == std::string::npos) ? n : end + closer.size();
+        const int start_line = line;
+        std::string text = source.substr(i, stop - i);
+        advance_over(stop - i);
+        out.toks.push_back({TokKind::kString, std::move(text), start_line});
+        continue;
+      }
+    }
+    // String / char literal (escape-aware).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') break;  // Unterminated: stop at the line end.
+        ++j;
+      }
+      const size_t stop = (j < n && source[j] == quote) ? j + 1 : j;
+      out.toks.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                          source.substr(i, stop - i), line});
+      advance_over(stop - i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      out.toks.push_back({TokKind::kIdent, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (IsDigit(c)) {
+      // pp-number: digits, idents, dots, digit separators and exponent
+      // signs; precise numeric grammar is irrelevant to the matchers.
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = source[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') &&
+            (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+             source[j - 1] == 'p' || source[j - 1] == 'P')) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      out.toks.push_back({TokKind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::string(p).size();
+      if (source.compare(i, len, p) == 0) {
+        out.toks.push_back({TokKind::kPunct, p, line});
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t MatchingClose(const std::vector<Tok>& toks, size_t open) {
+  if (open >= toks.size()) return toks.size();
+  const std::string& o = toks[open].text;
+  std::string closer;
+  if (o == "(") {
+    closer = ")";
+  } else if (o == "[") {
+    closer = "]";
+  } else if (o == "{") {
+    closer = "}";
+  } else {
+    return toks.size();
+  }
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == closer && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+size_t SkipTemplateArgs(const std::vector<Tok>& toks, size_t open) {
+  if (open >= toks.size() || toks[open].text != "<") return toks.size();
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "<") {
+        ++depth;
+      } else if (t.text == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (t.text == ">>") {
+        depth -= 2;
+        if (depth <= 0) return i + 1;
+      } else if (t.text == "(" || t.text == "[" || t.text == "{") {
+        i = MatchingClose(toks, i);
+        if (i >= toks.size()) return toks.size();
+      } else if (t.text == ";" || t.text == "<<" || t.text == "&&" ||
+                 t.text == "||") {
+        // Cannot appear inside the template argument lists the matchers
+        // care about: this `<` was a comparison.
+        return toks.size();
+      }
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace analyze
+}  // namespace malleus

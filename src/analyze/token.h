@@ -1,0 +1,78 @@
+// malleus::analyze — lexical front end of the determinism linter.
+//
+// A deliberately small C++ tokenizer: no preprocessor, no semantic
+// analysis, just the token stream the rule matchers in analyze.h walk.
+// Comments and preprocessor directives are stripped from the stream but
+// scanned for detlint:allow suppression annotations (see AllowAnnotation
+// for the syntax), which are collected per line. String/char literals survive as single tokens so
+// banned identifiers inside literals never trip a rule.
+//
+// The lexer is total: any byte sequence produces a token stream (unknown
+// bytes become one-character punctuation tokens), so the analyzer can be
+// pointed at any file in the tree without a parse-failure mode.
+
+#ifndef MALLEUS_ANALYZE_TOKEN_H_
+#define MALLEUS_ANALYZE_TOKEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace malleus {
+namespace analyze {
+
+enum class TokKind {
+  kIdent,    ///< Identifiers and keywords (the matchers special-case both).
+  kNumber,   ///< pp-number: starts with a digit (or .digit), greedily lexed.
+  kString,   ///< "..." or R"delim(...)delim", text includes the quotes.
+  kChar,     ///< '...'.
+  kPunct,    ///< Operators and punctuation, longest-match (e.g. "+=", "::").
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;  ///< 1-based source line of the token's first character.
+};
+
+/// One suppression annotation parsed out of a comment:
+///   // detlint:allow(det.unordered-iteration keys are sorted below)
+/// The annotation suppresses matching findings on its own line and on the
+/// following line (covering both trailing-comment and comment-above style).
+/// A missing reason is a finding itself (detlint.bad-allow), so every
+/// suppression in the tree carries its justification.
+struct AllowAnnotation {
+  int line = 0;
+  std::string code;    ///< The suppressed diagnostic code.
+  std::string reason;  ///< Free text; empty means malformed.
+};
+
+/// A lexed translation unit.
+struct LexedFile {
+  std::vector<Tok> toks;
+  std::vector<AllowAnnotation> allows;
+
+  /// True iff findings of `code` on `line` are suppressed by a well-formed
+  /// allow annotation (same line or the line above).
+  bool IsAllowed(const std::string& code, int line) const;
+};
+
+/// Lexes `source`. Never fails.
+LexedFile Lex(const std::string& source);
+
+/// Index of the matching closer for the opener at `open` ("(", "[", "{"),
+/// counting only the opener's own bracket kind. Returns toks.size() when
+/// unbalanced.
+size_t MatchingClose(const std::vector<Tok>& toks, size_t open);
+
+/// Index one past the matching `>` for the `<` at `open`, treating the
+/// token stream as a template argument list: tracks angle depth, steps over
+/// parenthesized/braced/bracketed subexpressions, and gives up (returning
+/// toks.size()) on tokens that cannot appear in a template argument list
+/// (`;`) or on shift-like uses it cannot disambiguate.
+size_t SkipTemplateArgs(const std::vector<Tok>& toks, size_t open);
+
+}  // namespace analyze
+}  // namespace malleus
+
+#endif  // MALLEUS_ANALYZE_TOKEN_H_

@@ -20,8 +20,10 @@ namespace malleus {
 ///   if (!r.ok()) return r.status();
 ///   Plan plan = std::move(r).ValueOrDie();
 /// \endcode
+/// [[nodiscard]] for the same reason as Status: a dropped Result<T> hides
+/// both the value and the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the success case).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

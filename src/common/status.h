@@ -35,7 +35,12 @@ const char* StatusCodeToString(StatusCode code);
 /// The class is cheap to copy in the OK case (no allocation) and is intended
 /// to be returned by value. Use the MALLEUS_RETURN_NOT_OK macro to propagate
 /// errors up the call stack.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows the error path, so
+/// the compiler flags any call statement that ignores one (the detlint
+/// status.discarded rule catches the same pattern pre-build). Deliberate
+/// best-effort discards must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

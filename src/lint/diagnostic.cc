@@ -113,8 +113,33 @@ std::string RenderJson(const DiagnosticSink& sink) {
       sink.num_notes());
 }
 
+namespace {
+
+// Splits a "path:line" location (line all-digits, non-empty path) into its
+// parts; false for logical locations like "pipeline[2].stage[0]".
+bool SplitFileLine(const std::string& location, std::string* path,
+                   int* line) {
+  const size_t colon = location.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= location.size()) {
+    return false;
+  }
+  long long n = 0;
+  for (size_t i = colon + 1; i < location.size(); ++i) {
+    if (location[i] < '0' || location[i] > '9') return false;
+    n = n * 10 + (location[i] - '0');
+  }
+  if (n <= 0) return false;
+  *path = location.substr(0, colon);
+  *line = static_cast<int>(n);
+  return true;
+}
+
+}  // namespace
+
 std::string RenderSarif(const DiagnosticSink& sink,
-                        const std::string& artifact) {
+                        const std::string& artifact,
+                        const std::string& tool) {
   // SARIF maps severities onto its fixed "level" vocabulary.
   const auto sarif_level = [](Severity s) {
     switch (s) {
@@ -146,10 +171,19 @@ std::string RenderSarif(const DiagnosticSink& sink,
   for (const Diagnostic& d : sink.diagnostics()) {
     std::string location;
     if (!d.location.empty()) {
+      std::string file;
+      int line = 0;
+      std::string physical;
+      if (SplitFileLine(d.location, &file, &line)) {
+        physical = StrFormat(
+            "\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s},"
+            "\"region\":{\"startLine\":%d}},",
+            JsonString(file).c_str(), line);
+      }
       location = StrFormat(
-          ",\"locations\":[{\"logicalLocations\":[{\"fullyQualifiedName\":"
+          ",\"locations\":[{%s\"logicalLocations\":[{\"fullyQualifiedName\":"
           "%s}]}]",
-          JsonString(d.location).c_str());
+          physical.c_str(), JsonString(d.location).c_str());
     }
     std::string properties;
     if (!d.params.empty()) {
@@ -173,8 +207,8 @@ std::string RenderSarif(const DiagnosticSink& sink,
       "{\"$schema\":"
       "\"https://json.schemastore.org/sarif-2.1.0.json\","
       "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":"
-      "{\"name\":\"malleus-lint\",\"rules\":[%s]}}%s,\"results\":[%s]}]}",
-      Join(rules, ",").c_str(), artifacts.c_str(),
+      "{\"name\":%s,\"rules\":[%s]}}%s,\"results\":[%s]}]}",
+      JsonString(tool).c_str(), Join(rules, ",").c_str(), artifacts.c_str(),
       Join(results, ",").c_str());
 }
 

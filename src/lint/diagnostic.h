@@ -107,12 +107,17 @@ std::string RenderText(const DiagnosticSink& sink);
 std::string RenderJson(const DiagnosticSink& sink);
 
 /// SARIF 2.1.0 (the OASIS standard CI annotators consume): one run with
-/// tool.driver.name "malleus-lint", one reporting rule per distinct code,
-/// one result per diagnostic with the location mapped to a SARIF
-/// logicalLocation and the params to result.properties. `artifact` names
-/// the analyzed input (e.g. a scenario file path); empty omits it.
+/// tool.driver.name `tool` (default "malleus-lint"), one reporting rule
+/// per distinct code, one result per diagnostic with the location mapped
+/// to a SARIF logicalLocation and the params to result.properties.
+/// Locations of the form "path:line" (as emitted by malleus::analyze)
+/// additionally get a physicalLocation with artifactLocation.uri = path
+/// and region.startLine = line, so CI annotators can pin the finding to
+/// the source line. `artifact` names the analyzed input (e.g. a scenario
+/// file path); empty omits it.
 std::string RenderSarif(const DiagnosticSink& sink,
-                        const std::string& artifact = "");
+                        const std::string& artifact = "",
+                        const std::string& tool = "malleus-lint");
 
 /// Increments the `lint.diagnostics.<code>` counter of the global metrics
 /// registry for every collected diagnostic, plus the `lint.errors` /

@@ -1,0 +1,7 @@
+// detlint.bad-allow: a suppression without a reason is itself a finding —
+// every allow in the tree must say why its site is safe.
+
+int StableSeed() {
+  // detlint:allow(det.banned-function) <-- finding (no reason given)
+  return 20260809;
+}

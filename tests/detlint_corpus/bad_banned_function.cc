@@ -1,0 +1,7 @@
+// det.banned-function: rand() draws from hidden global state, so two
+// runs of the same scenario diverge.
+#include <cstdlib>
+
+int PickStartIndex(int n) {
+  return rand() % n;  // <-- finding
+}

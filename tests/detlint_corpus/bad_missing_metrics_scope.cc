@@ -1,0 +1,13 @@
+// conc.missing-metrics-scope: pool workers start with no thread-local
+// MetricsScope, so Current() inside the body resolves to the process
+// global registry and per-request metrics leak into the global aggregate.
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+void SweepCandidates(malleus::exec::ThreadPool* pool, int64_t n) {
+  malleus::exec::ParallelFor(pool, n, [&](int64_t i) {
+    auto& registry = malleus::obs::MetricsRegistry::Current();  // <-- finding
+    registry.GetCounter("sweep.visited")->Add(1.0);
+    (void)i;
+  });
+}

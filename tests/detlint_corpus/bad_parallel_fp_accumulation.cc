@@ -1,0 +1,14 @@
+// det.parallel-fp-accumulation: += into a captured double from a
+// ParallelFor body sums in worker-interleaving order; FP addition is not
+// associative, so the low bits differ run to run.
+#include "exec/thread_pool.h"
+
+double SumCosts(malleus::exec::ThreadPool* pool,
+                const std::vector<double>& costs) {
+  double total = 0.0;
+  malleus::exec::ParallelFor(pool, static_cast<int64_t>(costs.size()),
+                             [&](int64_t i) {
+                               total += costs[i];  // <-- finding
+                             });
+  return total;
+}

@@ -1,0 +1,11 @@
+// det.pointer-ordering: a std::map keyed on a raw pointer orders entries
+// by address, which changes run to run under ASLR.
+#include <map>
+
+struct Gpu {
+  int id = 0;
+};
+
+std::map<const Gpu*, double> BuildLoadByGpu() {  // <-- finding
+  return {};
+}

@@ -1,0 +1,17 @@
+// conc.shared-mutable-capture: pool workers race on push_back into a
+// captured vector — undefined behavior, and the element order depends on
+// scheduling.
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+std::vector<int64_t> CollectEven(malleus::exec::ThreadPool* pool,
+                                 int64_t n) {
+  std::vector<int64_t> even;
+  malleus::exec::ParallelFor(pool, n, [&](int64_t i) {
+    if (i % 2 == 0) {
+      even.push_back(i);  // <-- finding
+    }
+  });
+  return even;
+}

@@ -1,0 +1,13 @@
+// status.discarded: the call statement drops a Status return, silently
+// swallowing the error path.
+#include "common/status.h"
+
+namespace malleus {
+
+Status FlushJournal(const char* path);
+
+void Checkpoint(const char* path) {
+  FlushJournal(path);  // <-- finding
+}
+
+}  // namespace malleus

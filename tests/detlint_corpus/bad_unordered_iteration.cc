@@ -1,0 +1,12 @@
+// det.unordered-iteration: range-for over an unordered container feeding
+// output visits elements in hash-table order.
+#include <string>
+#include <unordered_map>
+
+std::string DumpCounts(const std::unordered_map<std::string, int>& counts) {
+  std::string out;
+  for (const auto& entry : counts) {  // <-- finding
+    out += entry.first;
+  }
+  return out;
+}

@@ -1,0 +1,12 @@
+// detlint.bad-allow (negative): a well-formed allow names a real rule and
+// carries a reason; it suppresses its finding and raises nothing itself.
+#include <chrono>
+#include <cstdint>
+
+int64_t WallClockStamp() {
+  // detlint:allow(det.banned-function run-log wall stamp, excluded from byte-compared output)
+  const auto now = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}

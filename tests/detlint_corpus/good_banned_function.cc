@@ -1,0 +1,18 @@
+// det.banned-function (negative): seeded generators and steady_clock are
+// the sanctioned sources; mentioning banned names inside strings or
+// comments (rand, random_device) never counts as a use.
+#include <chrono>
+#include <string>
+
+#include "common/rng.h"
+
+int PickStartIndex(uint64_t seed, int n) {
+  malleus::Rng rng(seed);
+  return static_cast<int>(rng.Next() % static_cast<uint64_t>(n));
+}
+
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
+}
+
+std::string Banner() { return "do not call rand() or random_device here"; }

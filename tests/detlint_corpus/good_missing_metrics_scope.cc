@@ -1,0 +1,16 @@
+// conc.missing-metrics-scope (negative): the caller's registry is
+// captured outside the lambda and re-installed with a MetricsScope as the
+// body's first statement, so Current() resolves correctly on the worker.
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+void SweepCandidates(malleus::exec::ThreadPool* pool, int64_t n) {
+  malleus::obs::MetricsRegistry* metrics =
+      &malleus::obs::MetricsRegistry::Current();
+  malleus::exec::ParallelFor(pool, n, [&, metrics](int64_t i) {
+    malleus::obs::MetricsScope scope(metrics);
+    malleus::obs::MetricsRegistry::Current().GetCounter("sweep.visited")
+        ->Add(1.0);
+    (void)i;
+  });
+}

@@ -1,0 +1,17 @@
+// det.parallel-fp-accumulation (negative): each worker writes its own
+// slot, and the reduction happens in index order after the join — the
+// deterministic pattern the planner sweep uses.
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+double SumCosts(malleus::exec::ThreadPool* pool,
+                const std::vector<double>& costs) {
+  const int64_t n = static_cast<int64_t>(costs.size());
+  std::vector<double> slots(static_cast<size_t>(n), 0.0);
+  malleus::exec::ParallelFor(pool, n,
+                             [&](int64_t i) { slots[i] = costs[i]; });
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += slots[i];
+  return total;
+}

@@ -1,0 +1,13 @@
+// det.pointer-ordering (negative): keying on a stable id instead of the
+// object's address keeps iteration order identical across runs. Maps of
+// pointer *values* (pointer as mapped type) are fine too.
+#include <map>
+#include <string>
+
+struct Gpu {
+  int id = 0;
+};
+
+std::map<int, double> BuildLoadByGpuId() { return {}; }
+
+std::map<std::string, const Gpu*> BuildGpuByName() { return {}; }

@@ -1,0 +1,35 @@
+// conc.shared-mutable-capture (negative): per-worker slots indexed by the
+// loop parameter, mutex-guarded writes, and atomics are all sanctioned
+// ways to get results out of a parallel body.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+std::vector<int64_t> MarkEven(malleus::exec::ThreadPool* pool, int64_t n) {
+  std::vector<int64_t> flags(static_cast<size_t>(n), 0);
+  malleus::exec::ParallelFor(pool, n,
+                             [&](int64_t i) { flags[i] = i % 2 == 0; });
+  return flags;
+}
+
+int64_t CountEven(malleus::exec::ThreadPool* pool, int64_t n) {
+  std::atomic<int64_t> count{0};
+  malleus::exec::ParallelFor(pool, n, [&](int64_t i) {
+    if (i % 2 == 0) count.fetch_add(1, std::memory_order_relaxed);
+  });
+  return count.load();
+}
+
+std::vector<int64_t> GatherEven(malleus::exec::ThreadPool* pool, int64_t n) {
+  std::vector<int64_t> even;
+  std::mutex mu;
+  malleus::exec::ParallelFor(pool, n, [&](int64_t i) {
+    if (i % 2 == 0) {
+      const std::lock_guard<std::mutex> lock(mu);
+      even.push_back(i);
+    }
+  });
+  return even;
+}

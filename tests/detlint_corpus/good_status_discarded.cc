@@ -1,0 +1,23 @@
+// status.discarded (negative): captured, propagated, and explicitly
+// voided results are all handled; only a bare discarding statement flags.
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace malleus {
+
+Status FlushJournal(const char* path);
+
+Status Checkpoint(const char* path) {
+  const Status flushed = FlushJournal(path);
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "flush: %s\n", flushed.ToString().c_str());
+  }
+  return FlushJournal(path);
+}
+
+void BestEffortCheckpoint(const char* path) {
+  (void)FlushJournal(path);  // Deliberate: best-effort by contract.
+}
+
+}  // namespace malleus

@@ -1,0 +1,27 @@
+// det.unordered-iteration (negative): iterating a sorted snapshot of the
+// unordered container — the fix the rule recommends — is not flagged, and
+// neither is an annotated order-insensitive loop.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string DumpCounts(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::pair<std::string, int>> sorted(counts.begin(),
+                                                  counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& entry : sorted) {
+    out += entry.first;
+  }
+  return out;
+}
+
+int TotalCount(const std::unordered_map<std::string, int>& counts) {
+  int total = 0;
+  // detlint:allow(det.unordered-iteration integer sum is order-insensitive)
+  for (const auto& entry : counts) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,113 @@
+# malleus_detlint CLI contract, run via `cmake -P` (see
+# tests/CMakeLists.txt):
+#   - exit 0 on clean sources, 1 on error-level findings, 2 on bad usage;
+#   - a known-bad corpus snippet yields a SARIF finding at the exact
+#     file:line (physicalLocation uri + region.startLine);
+#   - the baseline suppresses a named finding (exit 0) and reports stale
+#     entries as notes without failing;
+#   - --list and --explain expose the rule registry.
+# Expects -DMALLEUS_DETLINT, -DCORPUS_DIR, -DBASELINE (the checked-in
+# tools/detlint_baseline.txt), -DWORK_DIR.
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE result
+                  OUTPUT_VARIABLE stdout
+                  ERROR_VARIABLE stderr)
+  if(NOT result EQUAL ${code})
+    message(FATAL_ERROR
+            "expected exit ${code}, got ${result} from: ${ARGN}\n"
+            "stdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(last_stdout "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(expect_stdout_contains needle)
+  string(FIND "${last_stdout}" "${needle}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "stdout does not contain '${needle}':\n${last_stdout}")
+  endif()
+endfunction()
+
+function(expect_stdout_lacks needle)
+  string(FIND "${last_stdout}" "${needle}" found)
+  if(NOT found EQUAL -1)
+    message(FATAL_ERROR "stdout unexpectedly contains '${needle}':\n"
+            "${last_stdout}")
+  endif()
+endfunction()
+
+# --- Registry surface --------------------------------------------------
+
+expect_exit(0 ${MALLEUS_DETLINT} --list)
+expect_stdout_contains("det.unordered-iteration")
+expect_stdout_contains("conc.shared-mutable-capture")
+expect_stdout_contains("status.discarded")
+expect_stdout_contains("detlint.bad-allow")
+
+expect_exit(0 ${MALLEUS_DETLINT} --explain=det.banned-function)
+expect_stdout_contains("steady_clock")
+
+# --- Usage errors are exit 2 -------------------------------------------
+
+expect_exit(2 ${MALLEUS_DETLINT})                     # No paths.
+expect_exit(2 ${MALLEUS_DETLINT} --explain=no.such.rule)
+expect_exit(2 ${MALLEUS_DETLINT} --format=yaml ${CORPUS_DIR})
+expect_exit(2 ${MALLEUS_DETLINT} --no-such-flag ${CORPUS_DIR})
+expect_exit(2 ${MALLEUS_DETLINT} ${CORPUS_DIR}/does_not_exist.cc)
+
+# --- Known-good corpus is clean ----------------------------------------
+
+file(GLOB good_files "${CORPUS_DIR}/good_*.cc")
+list(LENGTH good_files n_good)
+if(n_good LESS 8)
+  message(FATAL_ERROR "expected >= 8 good corpus files, found ${n_good}")
+endif()
+expect_exit(0 ${MALLEUS_DETLINT} ${good_files})
+expect_stdout_contains("no findings")
+
+# --- Known-bad corpus fails with located findings ----------------------
+
+set(bad "${CORPUS_DIR}/bad_unordered_iteration.cc")
+
+expect_exit(1 ${MALLEUS_DETLINT} ${bad})
+expect_stdout_contains("det.unordered-iteration")
+
+# The SARIF result points at the exact file and line of the bad range-for.
+expect_exit(1 ${MALLEUS_DETLINT} --format=sarif ${bad})
+expect_stdout_contains("https://json.schemastore.org/sarif-2.1.0.json")
+expect_stdout_contains("\"name\":\"malleus-detlint\"")
+expect_stdout_contains("bad_unordered_iteration.cc")
+expect_stdout_contains("\"startLine\":8")
+
+expect_exit(1 ${MALLEUS_DETLINT} --format=json ${bad})
+expect_stdout_contains("\"code\":\"det.unordered-iteration\"")
+
+# --- Baseline: suppress, then go stale ---------------------------------
+
+# The checked-in baseline must parse and must not hide anything in the
+# clean corpus.
+expect_exit(0 ${MALLEUS_DETLINT} --baseline=${BASELINE} ${good_files})
+
+# A baseline entry naming the bad finding exactly turns exit 1 into 0.
+set(accept "${WORK_DIR}/detlint_accept.txt")
+file(WRITE ${accept}
+     "det.unordered-iteration ${bad}:8 demo: accepted for the contract test\n")
+expect_exit(0 ${MALLEUS_DETLINT} --baseline=${accept} ${bad})
+
+# Pointing that same baseline at a clean file makes the entry stale: still
+# exit 0 (notes never fail the gate), but the staleness is reported.
+expect_exit(0 ${MALLEUS_DETLINT} --baseline=${accept}
+            ${CORPUS_DIR}/good_unordered_iteration.cc)
+expect_stdout_contains("detlint.stale-baseline")
+
+# Malformed baselines (no reason) are usage errors, not silent accepts.
+set(noreason "${WORK_DIR}/detlint_noreason.txt")
+file(WRITE ${noreason} "det.unordered-iteration ${bad}:8\n")
+expect_exit(2 ${MALLEUS_DETLINT} --baseline=${noreason} ${bad})
+
+# --- Directory walk skips the corpus unless named explicitly -----------
+
+expect_exit(0 ${MALLEUS_DETLINT} ${CORPUS_DIR}/..)
+expect_stdout_lacks("det.unordered-iteration")

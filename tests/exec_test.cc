@@ -108,6 +108,7 @@ TEST(ThreadPoolTest, NestedSubmissionCompletes) {
 
 TEST(ParallelForTest, NullPoolRunsInlineInOrder) {
   std::vector<int64_t> order;
+  // detlint:allow(conc.shared-mutable-capture null pool runs inline on the calling thread by contract)
   ParallelFor(nullptr, 5, [&](int64_t i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
 }
@@ -128,6 +129,7 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
 TEST(ParallelForTest, SingleIterationRunsInline) {
   ThreadPool pool(2);
   std::thread::id body_thread;
+  // detlint:allow(conc.shared-mutable-capture n<=1 runs inline by contract; the test asserts exactly that)
   ParallelFor(&pool, 1, [&](int64_t) { body_thread = std::this_thread::get_id(); });
   EXPECT_EQ(body_thread, std::this_thread::get_id());
 }
@@ -135,6 +137,7 @@ TEST(ParallelForTest, SingleIterationRunsInline) {
 TEST(ParallelForTest, ZeroIterationsIsANoOp) {
   ThreadPool pool(2);
   int calls = 0;
+  // detlint:allow(conc.shared-mutable-capture zero iterations: the body never runs at all)
   ParallelFor(&pool, 0, [&](int64_t) { ++calls; });
   EXPECT_EQ(calls, 0);
 }

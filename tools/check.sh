@@ -14,10 +14,16 @@
 #
 #   tools/check.sh             # ASan/UBSan configure + build + 2x ctest
 #                              #   + a 25-run malleus_fuzz smoke
+#                              #   + detlint sweep + format check
 #   tools/check.sh --fast      # reuse an existing build-asan configure
 #   tools/check.sh --tsan      # TSan build + concurrency-focused tests
 #   tools/check.sh --tsan --fast
 #   tools/check.sh --lint      # static-analysis gate (see below)
+#   tools/check.sh --detlint   # determinism/concurrency analyzer only:
+#                              #   Release build of malleus_detlint, sweep
+#                              #   src/ tools/ tests/ bench/ examples/
+#                              #   against tools/detlint_baseline.txt, and
+#                              #   a seeded known-bad self-check
 #   tools/check.sh --fuzz      # 200-run oracle fuzz under ASan/UBSan,
 #                              #   once per --net-model (analytic, flow)
 #   tools/check.sh --whatif    # record every example scenario as a bundle
@@ -40,14 +46,21 @@
 # fails the run. On a violation the minimized `.scenario` repro paths are
 # printed; replay one with `malleus_fuzz --replay=<file>`.
 #
-# Lint preset (--lint) — the static-analysis gate, in four stages:
-#   1. a -Werror build (-DMALLEUS_WERROR=ON): compiler warnings fail;
+# Lint preset (--lint) — the static-analysis gate, in five stages:
+#   1. a -Werror build (-DMALLEUS_WERROR=ON): compiler warnings fail
+#      (including [[nodiscard]] Status/Result discards);
 #   2. malleus_lint over examples/scenarios/*.scenario: every shipped
 #      scenario must be free of error-level diagnostics;
-#   3. clang-tidy over src/ against the checked-in .clang-tidy, compared
+#   3. malleus_detlint over src/ tools/ tests/ bench/ examples/ against
+#      tools/detlint_baseline.txt, plus the seeded known-bad self-check
+#      (DESIGN.md §15);
+#   4. clang-tidy over src/ against the checked-in .clang-tidy, compared
 #      to the baseline count below (skipped with a note when clang-tidy
 #      is not installed — the container ships only gcc);
-#   4. tools/format.sh --check (skips itself when clang-format is absent).
+#   5. tools/format.sh --check (skips itself when clang-format is absent).
+#
+# The default preset also runs stage 3 and the format check after the
+# sanitized test sweep, so `tools/check.sh` alone gates on detlint.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,6 +75,7 @@ for arg in "$@"; do
   case "$arg" in
     --tsan) MODE=tsan ;;
     --lint) MODE=lint ;;
+    --detlint) MODE=detlint ;;
     --fuzz) MODE=fuzz ;;
     --whatif) MODE=whatif ;;
     --serve) MODE=serve ;;
@@ -70,6 +84,45 @@ for arg in "$@"; do
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
+
+# run_detlint BINARY — the determinism/concurrency analyzer gate
+# (DESIGN.md §15): the tree sweep must be clean modulo the checked-in
+# baseline, and a seeded known-bad corpus snippet must still fail with a
+# SARIF finding at its marked line — proving the gate can catch what it
+# claims to before trusting its green.
+run_detlint() {
+  local detlint=$1
+  echo "== malleus_detlint over src/ tools/ tests/ bench/ examples/ =="
+  "$detlint" --baseline=tools/detlint_baseline.txt \
+    src tools tests bench examples
+
+  local bad=tests/detlint_corpus/bad_unordered_iteration.cc
+  echo "== detlint self-check (seeded known-bad snippet) =="
+  local sarif
+  if sarif=$("$detlint" --format=sarif "$bad"); then
+    echo "detlint self-check: $bad unexpectedly passed" >&2
+    exit 1
+  fi
+  if ! grep -q '"startLine":8' <<<"$sarif" || \
+     ! grep -q 'bad_unordered_iteration.cc' <<<"$sarif"; then
+    echo "detlint self-check: SARIF finding missing or mislocated:" >&2
+    echo "$sarif" >&2
+    exit 1
+  fi
+}
+
+if [[ "$MODE" == "detlint" ]]; then
+  BUILD_DIR=build-lint
+  if [[ "$FAST" != 1 || ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    cmake -B "$BUILD_DIR" -S . \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DMALLEUS_WERROR=ON
+  fi
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target malleus_detlint_tool
+  run_detlint "$BUILD_DIR/tools/malleus_detlint"
+  echo "OK: detlint sweep clean (baseline applied), self-check still fails"
+  exit 0
+fi
 
 if [[ "$MODE" == "lint" ]]; then
   BUILD_DIR=build-lint
@@ -83,6 +136,8 @@ if [[ "$MODE" == "lint" ]]; then
 
   echo "== malleus_lint over shipped scenarios =="
   "$BUILD_DIR/tools/malleus_lint" examples/scenarios/*.scenario
+
+  run_detlint "$BUILD_DIR/tools/malleus_detlint"
 
   echo "== clang-tidy (baseline: $CLANG_TIDY_BASELINE findings) =="
   if command -v clang-tidy >/dev/null 2>&1; then
@@ -102,7 +157,8 @@ if [[ "$MODE" == "lint" ]]; then
   echo "== format check =="
   tools/format.sh --check
 
-  echo "OK: -Werror build + scenario lint + clang-tidy + format check"
+  echo "OK: -Werror build + scenario lint + detlint + clang-tidy" \
+       "+ format check"
   exit 0
 fi
 
@@ -282,5 +338,11 @@ done
 
 run_fuzz 25
 
-echo "OK: build + tests + 2x25 fuzz runs clean under ASan/UBSan" \
-     "(analytic + flow net models)"
+# Static gates ride the default preset too: the (sanitized) detlint binary
+# sweeps the tree, and formatting drifts fail here rather than in review.
+run_detlint "$BUILD_DIR/tools/malleus_detlint"
+echo "== format check =="
+tools/format.sh --check
+
+echo "OK: build + tests + 2x25 fuzz runs + detlint + format check clean" \
+     "under ASan/UBSan (analytic + flow net models)"

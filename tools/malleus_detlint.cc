@@ -1,0 +1,236 @@
+// malleus_detlint: the repo's determinism & concurrency static analyzer
+// (malleus::analyze, DESIGN.md §15), run over C++ sources.
+//
+//   $ ./tools/malleus_detlint src tools tests bench
+//   $ ./tools/malleus_detlint --format=sarif src > detlint.sarif
+//   $ ./tools/malleus_detlint --baseline=tools/detlint_baseline.txt src
+//   $ ./tools/malleus_detlint --explain=det.unordered-iteration
+//   $ ./tools/malleus_detlint --list
+//
+// Arguments are files or directories; directories are walked recursively
+// for *.h / *.cc, skipping build trees (build*), hidden directories, and
+// tests/detlint_corpus (whose snippets are deliberately bad — pass a
+// corpus file explicitly to analyze it, as the contract test does).
+//
+// Two passes: first every file is lexed and indexed (so status.discarded
+// knows which names return Status/Result across the whole set), then each
+// file is analyzed in sorted path order — output is byte-deterministic
+// for a given tree.
+//
+// Exit status, matching malleus_lint: 0 = no error-level findings
+// (stale-baseline notes don't fail), 1 = at least one error-level finding
+// or an unreadable file, 2 = bad usage.
+//
+// Flags:
+//   --format=text|json|sarif   output format                (default text)
+//   --baseline=FILE            suppress the findings listed in FILE
+//                              (format: CODE PATH:LINE reason)
+//   --explain=CODE             print the rule's rationale and exit
+//   --list                     print the rule registry and exit
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "lint/diagnostic.h"
+
+using namespace malleus;
+
+namespace {
+
+struct Args {
+  std::string format = "text";
+  std::string baseline_path;
+  std::string explain_code;
+  bool list = false;
+  std::vector<std::string> paths;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      out->format = arg.substr(9);
+      if (out->format != "text" && out->format != "json" &&
+          out->format != "sarif") {
+        std::fprintf(stderr, "unknown format: %s\n", out->format.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      out->baseline_path = arg.substr(11);
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      out->explain_code = arg.substr(10);
+    } else if (arg == "--list") {
+      out->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    } else {
+      out->paths.push_back(arg);
+    }
+  }
+  return out->list || !out->explain_code.empty() || !out->paths.empty();
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool IsCppSource(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+// True for directories the walker must not descend into: build trees,
+// hidden directories, and the deliberately-bad rule corpus.
+bool SkippedDir(const std::string& name) {
+  if (name.rfind("build", 0) == 0) return true;
+  if (!name.empty() && name[0] == '.') return true;
+  return name == "detlint_corpus";
+}
+
+// Expands files/directories into the sorted list of sources to analyze.
+// Explicitly named files are always included, corpus or not.
+bool CollectSources(const std::vector<std::string>& paths,
+                    std::vector<std::string>* out) {
+  namespace fs = std::filesystem;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      fs::recursive_directory_iterator it(p, ec), end;
+      if (ec) {
+        std::fprintf(stderr, "%s: %s\n", p.c_str(), ec.message().c_str());
+        return false;
+      }
+      for (; it != end; it.increment(ec)) {
+        if (ec) {
+          std::fprintf(stderr, "%s: %s\n", p.c_str(), ec.message().c_str());
+          return false;
+        }
+        if (it->is_directory() &&
+            SkippedDir(it->path().filename().string())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsCppSource(it->path())) {
+          out->push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      out->push_back(fs::path(p).generic_string());
+    } else {
+      std::fprintf(stderr, "%s: not a file or directory\n", p.c_str());
+      return false;
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  return true;
+}
+
+void PrintRuleList() {
+  for (const analyze::RuleInfo& rule : analyze::Rules()) {
+    std::printf("%-7s %-30s %s\n", lint::SeverityName(rule.severity),
+                rule.code, rule.summary);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--format=text|json|sarif] [--baseline=FILE] "
+        "[--explain=CODE] [--list] PATH...\n"
+        "PATHs are C++ files or directories (recursed for *.h, *.cc)\n",
+        argv[0]);
+    return 2;
+  }
+  if (args.list) {
+    PrintRuleList();
+    return 0;
+  }
+  if (!args.explain_code.empty()) {
+    const analyze::RuleInfo* rule = analyze::FindRule(args.explain_code);
+    if (rule == nullptr) {
+      std::fprintf(stderr, "unknown rule: %s (see --list)\n",
+                   args.explain_code.c_str());
+      return 2;
+    }
+    std::printf("%s (%s)\n%s\n\n%s\n", rule->code,
+                lint::SeverityName(rule->severity), rule->summary,
+                rule->explanation);
+    return 0;
+  }
+
+  std::vector<analyze::BaselineEntry> baseline;
+  if (!args.baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(args.baseline_path, &text)) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   args.baseline_path.c_str());
+      return 2;
+    }
+    Result<std::vector<analyze::BaselineEntry>> parsed =
+        analyze::ParseBaseline(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.baseline_path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    baseline = std::move(parsed).ValueOrDie();
+  }
+
+  std::vector<std::string> sources;
+  if (!CollectSources(args.paths, &sources)) return 2;
+
+  // Pass 1: lex + index every file; pass 2: run the rules.
+  bool readable = true;
+  std::vector<std::pair<std::string, analyze::LexedFile>> lexed;
+  lexed.reserve(sources.size());
+  analyze::SymbolIndex index;
+  for (const std::string& path : sources) {
+    std::string source;
+    if (!ReadFile(path, &source)) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      readable = false;
+      continue;
+    }
+    lexed.emplace_back(path, analyze::Lex(source));
+    index.AddFile(lexed.back().second);
+  }
+  const analyze::AnalyzeOptions options;
+  lint::DiagnosticSink raw;
+  for (const auto& [path, file] : lexed) {
+    analyze::AnalyzeFile(path, file, index, options, &raw);
+  }
+  lint::DiagnosticSink sink;
+  analyze::ApplyBaseline(baseline, raw, &sink);
+
+  if (args.format == "json") {
+    std::printf("%s\n", lint::RenderJson(sink).c_str());
+  } else if (args.format == "sarif") {
+    std::printf("%s\n",
+                lint::RenderSarif(sink, args.paths.front(), "malleus-detlint")
+                    .c_str());
+  } else if (sink.empty()) {
+    std::printf("%zu file(s): no findings\n", lexed.size());
+  } else {
+    std::printf("%s", lint::RenderText(sink).c_str());
+  }
+  return (sink.HasErrors() || !readable) ? 1 : 0;
+}

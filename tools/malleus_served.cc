@@ -126,7 +126,12 @@ int main(int argc, char** argv) {
   }
   if (!status.ok()) {
     std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
-    server.Shutdown();
+    // Best-effort drain on the error path; its own failure is secondary
+    // to the transport error already being reported.
+    const Status drain = server.Shutdown();
+    if (!drain.ok()) {
+      std::fprintf(stderr, "shutdown: %s\n", drain.ToString().c_str());
+    }
     return 1;
   }
 
