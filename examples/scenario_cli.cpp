@@ -26,6 +26,13 @@
 //                               hardware concurrency (default 0). The chosen
 //                               plan is identical at every thread count.
 //   --baselines                 also run Megatron/DeepSpeed for comparison
+//   --dynamic                   run the scenario's `dynamic = {...}` block
+//                               through the online fault-tolerance policy
+//                               engine (malleus::policy) instead of the
+//                               phase trace; uses the block's defaults when
+//                               the scenario has none
+//   --policy=NAME               selector for --dynamic: adaptive (default),
+//                               tolerate, promote, delta, replan, restart
 //
 // Observability outputs (all produced from the Malleus run only):
 //   --trace-out=FILE    Chrome trace-event JSON of every 1F1B stage task,
@@ -48,6 +55,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +73,9 @@
 #include "obs/bundle.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "policy/events.h"
+#include "policy/policy.h"
+#include "policy/runner.h"
 #include "scenario/scenario.h"
 #include "solver/cache_io.h"
 #include "solver/solve_cache.h"
@@ -100,6 +111,11 @@ struct Args {
   std::vector<scenario::StragglerEntry> stragglers;
   bool lint = false;
   std::string lint_format = "text";
+  /// Dynamic policy-engine mode: the scenario's `dynamic = {...}` block
+  /// (or its defaults) replayed through policy::RunDynamic.
+  bool dynamic = false;
+  std::string policy = "adaptive";
+  scenario::DynamicSpec dynamic_spec;
 };
 
 // Writes `content` to `path`; complains to stderr on failure.
@@ -136,6 +152,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->seed = spec->seed;
       out->trace = spec->phases;
       out->stragglers = spec->stragglers;
+      out->dynamic_spec = spec->dynamic;
+      if (spec->dynamic.enabled) out->dynamic = true;
       if (!spec->net_model.empty()) {
         Result<net::NetModel> nm = net::ParseNetModel(spec->net_model);
         if (!nm.ok()) {
@@ -204,6 +222,10 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       }
     } else if (arg == "--baselines") {
       out->baselines = true;
+    } else if (arg == "--dynamic") {
+      out->dynamic = true;
+    } else if (const char* v = value("--policy=")) {
+      out->policy = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -269,6 +291,7 @@ int main(int argc, char** argv) {
                  "[--batch=B] [--steps=K] [--trace=normal,s1,...] "
                  "[--seed=S] [--net-model=analytic|flow] "
                  "[--planner-threads=N] [--baselines] "
+                 "[--dynamic] [--policy=NAME] "
                  "[--cache-load=FILE] [--cache-save=FILE] "
                  "[--trace-out=FILE] "
                  "[--metrics-out=FILE] [--events-out=FILE] "
@@ -312,6 +335,89 @@ int main(int argc, char** argv) {
   }
   const topo::ClusterSpec cluster = topo::ClusterSpec::A800Cluster(args.nodes);
   const model::CostModel cost(*spec, cluster.gpu());
+
+  if (args.dynamic) {
+    scenario::DynamicSpec dyn = args.dynamic_spec;
+    dyn.enabled = true;  // --dynamic without a block runs the defaults.
+    const policy::EventTrace trace = policy::GenerateEventTrace(
+        cluster, dyn, dyn.seed != 0 ? dyn.seed : args.seed);
+    Result<std::unique_ptr<policy::PolicySelector>> selector =
+        policy::MakeSelector(args.policy);
+    if (!selector.ok()) {
+      std::fprintf(stderr, "%s\n", selector.status().ToString().c_str());
+      return 2;
+    }
+    straggler::Situation initial(cluster.num_gpus());
+    for (const scenario::StragglerEntry& entry : args.stragglers) {
+      if (entry.gpu < 0 || entry.gpu >= cluster.num_gpus()) {
+        std::fprintf(stderr, "straggler GPU %d is outside the cluster\n",
+                     entry.gpu);
+        return 2;
+      }
+      if (entry.is_rate) {
+        initial.SetRate(entry.gpu, entry.rate);
+      } else {
+        initial.SetLevel(entry.gpu, entry.level);
+      }
+    }
+    core::RunLog dyn_log;
+    policy::DynamicRunOptions dyn_options;
+    dyn_options.planner.num_threads = args.planner_threads;
+    dyn_options.sim.net_model = args.net_model;
+    dyn_options.run_log = &dyn_log;
+    std::printf("model   : %s\n", cost.spec().ToString().c_str());
+    std::printf("cluster : %s\n", cluster.ToString().c_str());
+    std::printf("dynamic : %lld iterations, %zu events, policy=%s\n\n",
+                static_cast<long long>(trace.iterations),
+                trace.events.size(), args.policy.c_str());
+    const Result<policy::DynamicRunResult> run = policy::RunDynamic(
+        cluster, cost, initial, trace, args.batch, **selector, dyn_options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "dynamic run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("iterations run   : %lld of %lld\n",
+                static_cast<long long>(run->iterations_run),
+                static_cast<long long>(run->trace_iterations));
+    std::printf("events applied   : %d\n", run->events_applied);
+    std::string actions;
+    for (int a = 0; a < policy::kNumPolicyActions; ++a) {
+      if (a > 0) actions += ", ";
+      actions += StrFormat(
+          "%s %d",
+          policy::PolicyActionName(static_cast<policy::PolicyAction>(a)),
+          run->action_counts[a]);
+    }
+    std::printf("actions          : %s\n", actions.c_str());
+    std::printf("training         : %.3f s\n", run->training_seconds);
+    std::printf("transition       : %.3f s\n", run->transition_seconds);
+    std::printf("wall             : %.3f s\n", run->wall_seconds);
+    std::printf("healthy step     : %.4f s/iter\n",
+                run->healthy_step_seconds);
+    std::printf("goodput          : %.4f\n", run->goodput);
+    if (!run->stop_reason.empty()) {
+      std::printf("stopped early    : %s\n", run->stop_reason.c_str());
+    }
+    int dyn_rc = run->stop_reason.empty() ? 0 : 1;
+    if (!args.events_out.empty()) {
+      if (WriteFileOrWarn(args.events_out, dyn_log.ToJsonl())) {
+        std::printf("wrote %d steps + %zu events to %s\n",
+                    dyn_log.num_steps(), dyn_log.events().size(),
+                    args.events_out.c_str());
+      } else {
+        dyn_rc = 1;
+      }
+    }
+    if (!args.csv_out.empty()) {
+      if (WriteFileOrWarn(args.csv_out, dyn_log.ToCsv())) {
+        std::printf("wrote run log CSV to %s\n", args.csv_out.c_str());
+      } else {
+        dyn_rc = 1;
+      }
+    }
+    return dyn_rc;
+  }
 
   std::vector<straggler::TracePhase> trace;
   if (args.trace.empty()) {

@@ -82,6 +82,10 @@ const std::vector<PassInfo>& Passes() {
        "equal-rate pipelines carry unequal micro-batch counts"},
       {kLintScenarioDuplicateStraggler, Severity::kError,
        "two straggler entries target the same GPU"},
+      {kLintScenarioDynamicInvalidValue, Severity::kError,
+       "a dynamic block field is outside its valid range"},
+      {kLintScenarioDynamicSaturated, Severity::kWarn,
+       "dynamic event rates would saturate the cluster with faults"},
       {kLintScenarioFabricFieldIgnored, Severity::kWarn,
        "a fabric field does not apply to the chosen fabric kind"},
       {kLintScenarioGpuOutOfRange, Severity::kError,
@@ -473,6 +477,69 @@ void LintScenario(const scenario::ScenarioSpec& spec, DiagnosticSink* sink) {
                                "(rate %.2f)",
                                s.level, straggler::RateForLevel(s.level)),
                      {{"level", StrFormat("%d", s.level)}});
+      }
+    }
+  }
+  if (spec.dynamic.enabled) {
+    const scenario::DynamicSpec& d = spec.dynamic;
+    const std::string loc = "scenario.dynamic";
+    const auto bad = [&](const std::string& what) {
+      sink->Report(Severity::kError, kLintScenarioDynamicInvalidValue, loc,
+                   what);
+    };
+    if (d.iterations < 1 || d.iterations > 10 * 1000 * 1000) {
+      bad(StrFormat("iterations %d must be in [1, 10000000]", d.iterations));
+    }
+    if (!(d.straggle_rate >= 0.0 && d.straggle_rate <= 1.0)) {
+      bad(StrFormat("straggle_rate %.6g must be in [0, 1]",
+                    d.straggle_rate));
+    }
+    if (!(d.fail_rate >= 0.0 && d.fail_rate <= 1.0)) {
+      bad(StrFormat("fail_rate %.6g must be in [0, 1]", d.fail_rate));
+    }
+    if (!(d.node_fail_rate >= 0.0 && d.node_fail_rate <= 1.0)) {
+      bad(StrFormat("node_fail_rate %.6g must be in [0, 1]",
+                    d.node_fail_rate));
+    }
+    if (d.recover_iters < 0) {
+      bad(StrFormat("recover_iters %d must be >= 0", d.recover_iters));
+    }
+    if (!(d.flap_prob >= 0.0 && d.flap_prob <= 1.0)) {
+      bad(StrFormat("flap_prob %.6g must be in [0, 1]", d.flap_prob));
+    }
+    if (d.flap_period < 1) {
+      bad(StrFormat("flap_period %d must be >= 1", d.flap_period));
+    }
+    if (!(d.diurnal_amplitude >= 0.0 && d.diurnal_amplitude <= 1.0)) {
+      bad(StrFormat("diurnal_amplitude %.6g must be in [0, 1]",
+                    d.diurnal_amplitude));
+    }
+    if (d.diurnal_period < 1) {
+      bad(StrFormat("diurnal_period %d must be >= 1", d.diurnal_period));
+    }
+    if (d.max_level < 1 || d.max_level > 8) {
+      bad(StrFormat("max_level %d must be in [1, 8]", d.max_level));
+    }
+    // Saturation: with per-GPU arrival probability p and mean heal time r,
+    // the expected number of concurrently-faulty GPUs in steady state is
+    // about num_gpus * p * r. Past half the cluster the planner spends the
+    // whole run in degraded plans and the comparison tells you nothing.
+    if (shape_ok && d.straggle_rate >= 0.0 && d.fail_rate >= 0.0 &&
+        d.node_fail_rate >= 0.0 && d.recover_iters >= 0) {
+      const double arrival = d.straggle_rate + d.fail_rate +
+                             d.node_fail_rate * spec.gpus_per_node;
+      const double expected_faulty =
+          static_cast<double>(num_gpus) * arrival *
+          (d.recover_iters > 0 ? d.recover_iters : d.iterations);
+      if (expected_faulty >= num_gpus / 2.0 && num_gpus > 0) {
+        sink->Report(
+            Severity::kWarn, kLintScenarioDynamicSaturated, loc,
+            StrFormat("expected concurrent faulty GPUs %.1f is at least "
+                      "half the %d-GPU cluster; the dynamic run will be "
+                      "fault-dominated",
+                      expected_faulty, num_gpus),
+            {{"expected_faulty", StrFormat("%.2f", expected_faulty)},
+             {"num_gpus", StrFormat("%d", num_gpus)}});
       }
     }
   }

@@ -69,6 +69,10 @@ inline constexpr char kLintScenarioGpuOutOfRange[] =
     "scenario.gpu-out-of-range";
 inline constexpr char kLintScenarioDuplicateStraggler[] =
     "scenario.duplicate-straggler";
+inline constexpr char kLintScenarioDynamicInvalidValue[] =
+    "scenario.dynamic-invalid-value";
+inline constexpr char kLintScenarioDynamicSaturated[] =
+    "scenario.dynamic-saturated";
 inline constexpr char kLintScenarioUnknownFabric[] =
     "scenario.unknown-fabric";
 inline constexpr char kLintScenarioFabricFieldIgnored[] =

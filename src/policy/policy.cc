@@ -1,0 +1,100 @@
+#include "policy/policy.h"
+
+namespace malleus {
+namespace policy {
+
+namespace {
+
+// Feasible argmin of PredictedCost; ties break to the lowest action index
+// so the choice is deterministic and platform-independent.
+PolicyAction CheapestFeasible(const ActionEstimates& estimates,
+                              double horizon) {
+  int best = -1;
+  double best_cost = 0.0;
+  for (int a = 0; a < kNumPolicyActions; ++a) {
+    if (!estimates[a].feasible) continue;
+    const double cost = estimates[a].PredictedCost(horizon);
+    if (best < 0 || cost < best_cost) {
+      best = a;
+      best_cost = cost;
+    }
+  }
+  // The runner guarantees at least one feasible action; default defensively
+  // to restart (always priced) rather than read out of range.
+  return best >= 0 ? static_cast<PolicyAction>(best) : PolicyAction::kRestart;
+}
+
+class AdaptiveSelector : public PolicySelector {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "adaptive";
+    return kName;
+  }
+  PolicyAction Select(const ActionEstimates& estimates,
+                      const ClusterEvent& /*event*/,
+                      double horizon) const override {
+    return CheapestFeasible(estimates, horizon);
+  }
+};
+
+class FixedSelector : public PolicySelector {
+ public:
+  FixedSelector(std::string name, PolicyAction action)
+      : name_(std::move(name)), action_(action) {}
+  const std::string& name() const override { return name_; }
+  PolicyAction Select(const ActionEstimates& estimates,
+                      const ClusterEvent& /*event*/,
+                      double horizon) const override {
+    if (estimates[static_cast<int>(action_)].feasible) return action_;
+    // The namesake action is impossible (e.g. tolerate on a failed GPU or
+    // promote with no standby): fall back deterministically.
+    return CheapestFeasible(estimates, horizon);
+  }
+
+ private:
+  std::string name_;
+  PolicyAction action_;
+};
+
+}  // namespace
+
+const char* PolicyActionName(PolicyAction action) {
+  switch (action) {
+    case PolicyAction::kTolerate:
+      return "tolerate";
+    case PolicyAction::kPromote:
+      return "promote";
+    case PolicyAction::kDeltaReplan:
+      return "delta";
+    case PolicyAction::kReplan:
+      return "replan";
+    case PolicyAction::kRestart:
+      return "restart";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<PolicySelector>> MakeSelector(
+    const std::string& name) {
+  if (name == "adaptive") {
+    return std::unique_ptr<PolicySelector>(new AdaptiveSelector());
+  }
+  for (int a = 0; a < kNumPolicyActions; ++a) {
+    const PolicyAction action = static_cast<PolicyAction>(a);
+    if (name == PolicyActionName(action)) {
+      return std::unique_ptr<PolicySelector>(new FixedSelector(name, action));
+    }
+  }
+  return Status::InvalidArgument(
+      "unknown policy selector: " + name +
+      " (expected adaptive, tolerate, promote, delta, replan or restart)");
+}
+
+const std::array<std::string, kNumPolicyActions + 1>& SelectorNames() {
+  static const std::array<std::string, kNumPolicyActions + 1> kNames = {
+      "adaptive", "tolerate", "promote", "delta", "replan", "restart"};
+  return kNames;
+}
+
+}  // namespace policy
+}  // namespace malleus

@@ -79,6 +79,91 @@ Status ParseStraggler(const std::string& value, int line,
   return Status::OK();
 }
 
+// "{ key=value key=value ... }" — the braces hold whitespace-separated
+// inner pairs, so the whole dynamic block stays one scenario line and the
+// top-level first-'=' split keeps working.
+Status ParseDynamic(const std::string& value, int line, DynamicSpec* out) {
+  if (value.front() != '{' || value.back() != '}') {
+    return LineError(line, "dynamic value must be { key=value ... }");
+  }
+  *out = DynamicSpec();
+  out->enabled = true;
+  out->line = line;
+  const std::string inner = value.substr(1, value.size() - 2);
+  size_t pos = 0;
+  while (pos < inner.size()) {
+    while (pos < inner.size() &&
+           std::isspace(static_cast<unsigned char>(inner[pos]))) {
+      ++pos;
+    }
+    if (pos >= inner.size()) break;
+    size_t end = pos;
+    while (end < inner.size() &&
+           !std::isspace(static_cast<unsigned char>(inner[end]))) {
+      ++end;
+    }
+    const std::string pair = inner.substr(pos, end - pos);
+    pos = end;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= pair.size()) {
+      return LineError(line, "dynamic entry must be key=value: " + pair);
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    int64_t n = 0;
+    double d = 0.0;
+    if (key == "iterations") {
+      if (!ParseInt64(val, &n)) return LineError(line, "bad dynamic iterations");
+      out->iterations = static_cast<int>(n);
+    } else if (key == "straggle_rate") {
+      if (!ParseDouble(val, &d)) {
+        return LineError(line, "bad dynamic straggle_rate");
+      }
+      out->straggle_rate = d;
+    } else if (key == "fail_rate") {
+      if (!ParseDouble(val, &d)) return LineError(line, "bad dynamic fail_rate");
+      out->fail_rate = d;
+    } else if (key == "node_fail_rate") {
+      if (!ParseDouble(val, &d)) {
+        return LineError(line, "bad dynamic node_fail_rate");
+      }
+      out->node_fail_rate = d;
+    } else if (key == "recover_iters") {
+      if (!ParseInt64(val, &n)) {
+        return LineError(line, "bad dynamic recover_iters");
+      }
+      out->recover_iters = static_cast<int>(n);
+    } else if (key == "flap_prob") {
+      if (!ParseDouble(val, &d)) return LineError(line, "bad dynamic flap_prob");
+      out->flap_prob = d;
+    } else if (key == "flap_period") {
+      if (!ParseInt64(val, &n)) {
+        return LineError(line, "bad dynamic flap_period");
+      }
+      out->flap_period = static_cast<int>(n);
+    } else if (key == "diurnal_amplitude") {
+      if (!ParseDouble(val, &d)) {
+        return LineError(line, "bad dynamic diurnal_amplitude");
+      }
+      out->diurnal_amplitude = d;
+    } else if (key == "diurnal_period") {
+      if (!ParseInt64(val, &n)) {
+        return LineError(line, "bad dynamic diurnal_period");
+      }
+      out->diurnal_period = static_cast<int>(n);
+    } else if (key == "max_level") {
+      if (!ParseInt64(val, &n)) return LineError(line, "bad dynamic max_level");
+      out->max_level = static_cast<int>(n);
+    } else if (key == "seed") {
+      if (!ParseInt64(val, &n)) return LineError(line, "bad dynamic seed");
+      out->seed = static_cast<uint64_t>(n);
+    } else {
+      return LineError(line, "unknown dynamic key: " + key);
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<ScenarioSpec> ParseScenarioString(const std::string& text) {
@@ -150,6 +235,8 @@ Result<ScenarioSpec> ParseScenarioString(const std::string& text) {
       StragglerEntry entry;
       MALLEUS_RETURN_NOT_OK(ParseStraggler(value, line_no, &entry));
       spec.stragglers.push_back(entry);
+    } else if (key == "dynamic") {
+      MALLEUS_RETURN_NOT_OK(ParseDynamic(value, line_no, &spec.dynamic));
     } else {
       return LineError(line_no, "unknown key: " + key);
     }
@@ -191,6 +278,18 @@ std::string SerializeScenario(const ScenarioSpec& spec) {
     } else {
       out += StrFormat("straggler = %d:%d\n", s.gpu, s.level);
     }
+  }
+  if (spec.dynamic.enabled) {
+    const DynamicSpec& d = spec.dynamic;
+    out += StrFormat(
+        "dynamic = { iterations=%d straggle_rate=%.17g fail_rate=%.17g "
+        "node_fail_rate=%.17g recover_iters=%d flap_prob=%.17g "
+        "flap_period=%d diurnal_amplitude=%.17g diurnal_period=%d "
+        "max_level=%d seed=%llu }\n",
+        d.iterations, d.straggle_rate, d.fail_rate, d.node_fail_rate,
+        d.recover_iters, d.flap_prob, d.flap_period, d.diurnal_amplitude,
+        d.diurnal_period, d.max_level,
+        static_cast<unsigned long long>(d.seed));
   }
   return out;
 }

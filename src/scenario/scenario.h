@@ -20,6 +20,18 @@
 //   nodes_per_pod = 4       # fat-tree only; must divide nodes
 //   oversubscription = 4    # spine taper ratio, >= 1 (1 = non-blocking)
 //
+// Dynamic fault-tolerance runs (malleus::policy) are declared with one
+// `dynamic = { ... }` line whose braces hold space-separated key=value
+// pairs describing the stochastic event processes:
+//
+//   dynamic = { iterations=2000 straggle_rate=0.02 fail_rate=0.004
+//               recover_iters=80 flap_prob=0.3 flap_period=25
+//               diurnal_amplitude=0.8 diurnal_period=200 max_level=3 }
+//
+// (shown wrapped; the file form is one physical line). Unknown inner keys
+// are parse errors like unknown top-level keys; value ranges are checked
+// by lint (scenario.dynamic-invalid-value / scenario.dynamic-saturated).
+//
 // Parsing is purely syntactic: unknown keys, malformed lines and
 // unparsable numbers fail with a Status naming the line. Semantic
 // validity (model names, phase names, GPU ranges, rate ranges) is the
@@ -52,6 +64,40 @@ struct StragglerEntry {
   int line = 0;  ///< 1-based source line, for diagnostics.
 };
 
+/// The stochastic event processes of a `dynamic = { ... }` line. All
+/// rates are per-GPU (or per-node for `node_fail_rate`) Poisson arrival
+/// probabilities per simulated iteration; the trace generator in
+/// malleus::policy consumes this verbatim. Ranges are lint's job
+/// (scenario.dynamic-invalid-value), not the parser's.
+struct DynamicSpec {
+  bool enabled = false;
+  /// Simulated iterations the dynamic run advances.
+  int iterations = 2000;
+  /// Per-GPU straggle arrival probability per iteration.
+  double straggle_rate = 0.01;
+  /// Per-GPU fail-stop arrival probability per iteration.
+  double fail_rate = 0.0;
+  /// Per-node correlated-failure probability per iteration (fails every
+  /// GPU on the node at once).
+  double node_fail_rate = 0.0;
+  /// Mean iterations until a straggle/failure heals (0 = never heals).
+  int recover_iters = 100;
+  /// Probability a healed straggler flaps (re-straggles after roughly
+  /// `flap_period` iterations).
+  double flap_prob = 0.0;
+  /// Mean iterations between flaps of a flapping GPU.
+  int flap_period = 50;
+  /// Diurnal contention: straggle arrivals are modulated by
+  /// 1 + amplitude * sin(2*pi*t / period). 0 disables.
+  double diurnal_amplitude = 0.0;
+  int diurnal_period = 500;
+  /// Straggler levels are drawn uniformly from [1, max_level].
+  int max_level = 3;
+  /// Trace seed; 0 means "derive from the scenario seed".
+  uint64_t seed = 0;
+  int line = 0;  ///< 1-based source line of the dynamic block.
+};
+
 /// A parsed scenario file. Defaults match scenario_cli's flag defaults.
 struct ScenarioSpec {
   std::string model = "32b";
@@ -71,6 +117,8 @@ struct ScenarioSpec {
   /// Canonical situation names ("normal", "s1".."s6"), in trace order.
   std::vector<std::string> phases;
   std::vector<StragglerEntry> stragglers;
+  /// Dynamic fault-tolerance run configuration; disabled by default.
+  DynamicSpec dynamic;
   /// The file this spec came from ("" when parsed from a string).
   std::string source;
 };

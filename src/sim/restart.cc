@@ -26,5 +26,12 @@ double CheckpointLoadSeconds(double checkpoint_bytes, int num_io_nodes,
   return IoSeconds(checkpoint_bytes, num_io_nodes, config);
 }
 
+double RestartAfterFailureSeconds(double checkpoint_bytes, int num_io_nodes,
+                                  const RestartCostConfig& config) {
+  // Init + load only: there is nothing left to save after a failure.
+  return IoSeconds(checkpoint_bytes, num_io_nodes, config) +
+         config.framework_init_seconds;
+}
+
 }  // namespace sim
 }  // namespace malleus

@@ -27,6 +27,16 @@ double CheckpointLoadSeconds(
     double checkpoint_bytes, int num_io_nodes,
     const RestartCostConfig& config = RestartCostConfig());
 
+/// Seconds to restart after a fail-stop (or a migration that died
+/// mid-flight): the latest checkpoint already exists and the failed
+/// processes' state is unsaveable, so the cost is framework re-init plus
+/// one load — NOT RestartSeconds, whose save leg would double-count the
+/// checkpoint I/O for state that is already (and only) on disk. Always
+/// RestartSeconds - CheckpointLoadSeconds.
+double RestartAfterFailureSeconds(
+    double checkpoint_bytes, int num_io_nodes,
+    const RestartCostConfig& config = RestartCostConfig());
+
 }  // namespace sim
 }  // namespace malleus
 

@@ -118,6 +118,32 @@ scenario::ScenarioSpec GenerateScenario(Rng* rng,
     }
     spec.stragglers.push_back(entry);
   }
+
+  // Dynamic fault-tolerance runs: short traces (the policy runner replans
+  // on events, so event count — roughly gpus * rate * horizon — is what
+  // costs time), with occasional draws at the saturation and never-heal
+  // boundaries the lint pass warns about.
+  if (rng->Uniform() < options.dynamic_prob) {
+    spec.dynamic.enabled = true;
+    spec.dynamic.iterations = Weighted<int>(rng, {10, 50, 150},
+                                            {0.4, 0.4, 0.2});
+    spec.dynamic.straggle_rate = Weighted<double>(
+        rng, {0.0, 0.002, 0.01, 0.05}, {0.1, 0.4, 0.35, 0.15});
+    spec.dynamic.fail_rate = Weighted<double>(rng, {0.0, 0.0005, 0.005},
+                                              {0.5, 0.35, 0.15});
+    spec.dynamic.node_fail_rate =
+        Weighted<double>(rng, {0.0, 0.001}, {0.7, 0.3});
+    spec.dynamic.recover_iters =
+        Weighted<int>(rng, {0, 10, 40}, {0.15, 0.45, 0.4});
+    spec.dynamic.flap_prob =
+        Weighted<double>(rng, {0.0, 0.3, 0.9}, {0.5, 0.3, 0.2});
+    spec.dynamic.flap_period = Weighted<int>(rng, {5, 25}, {0.5, 0.5});
+    spec.dynamic.diurnal_amplitude =
+        Weighted<double>(rng, {0.0, 0.5, 1.0}, {0.5, 0.3, 0.2});
+    spec.dynamic.diurnal_period = Weighted<int>(rng, {20, 100}, {0.5, 0.5});
+    spec.dynamic.max_level = static_cast<int>(rng->UniformInt(1, 8));
+    spec.dynamic.seed = rng->Next() >> 1;
+  }
   return spec;
 }
 

@@ -38,6 +38,12 @@ struct GeneratorOptions {
   double rate_entry_prob = 0.35;
   /// Probability of one entry marking a completely failed GPU (rate inf).
   double failed_gpu_prob = 0.03;
+  /// Probability of attaching a `dynamic = { ... }` block (a seeded
+  /// event-trace run through malleus::policy). 1.0 forces one on every
+  /// scenario (`malleus_fuzz --dynamic`). Generated blocks keep the
+  /// expected event count small so one oracle evaluation stays fast, but
+  /// deliberately sample the saturation and never-heal boundaries.
+  double dynamic_prob = 0.25;
 };
 
 /// Draws one scenario from `rng`. Never fails: every output parses and

@@ -1,5 +1,6 @@
 #include "testkit/golden.h"
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -8,6 +9,9 @@
 #include "core/planner.h"
 #include "core/snapshot.h"
 #include "model/cost_model.h"
+#include "policy/events.h"
+#include "policy/policy.h"
+#include "policy/runner.h"
 #include "straggler/situation.h"
 
 namespace malleus {
@@ -47,6 +51,73 @@ Result<std::string> RenderGoldenSnapshot(
       continue;
     }
     out += core::PlanResultSnapshot(*result, cluster, cost, situation);
+  }
+
+  // Dynamic scenarios additionally pin the generated event trace and one
+  // full policy run per registered selector, so a drift in the trace
+  // generator, the action pricing, or any selector's choices shows up as
+  // a byte diff. Wall-clock never enters: every number below is derived
+  // from the deterministic noise-free simulator and fixed cost constants.
+  if (spec.dynamic.enabled) {
+    const policy::EventTrace trace = policy::GenerateEventTrace(
+        cluster, spec.dynamic,
+        spec.dynamic.seed != 0 ? spec.dynamic.seed : spec.seed);
+    out += "== dynamic trace ==\n";
+    out += StrFormat("iterations %lld, events %zu\n",
+                     static_cast<long long>(trace.iterations),
+                     trace.events.size());
+    constexpr size_t kMaxEventLines = 200;
+    for (size_t i = 0; i < trace.events.size() && i < kMaxEventLines; ++i) {
+      out += trace.events[i].ToString() + "\n";
+    }
+    if (trace.events.size() > kMaxEventLines) {
+      out += StrFormat("... (%zu more events)\n",
+                       trace.events.size() - kMaxEventLines);
+    }
+
+    straggler::Situation healthy(cluster.num_gpus());
+    for (const std::string& name : policy::SelectorNames()) {
+      out += StrFormat("== dynamic policy %s ==\n", name.c_str());
+      Result<std::unique_ptr<policy::PolicySelector>> selector =
+          policy::MakeSelector(name);
+      if (!selector.ok()) {
+        out += StrFormat("selector failed: %s\n",
+                         selector.status().ToString().c_str());
+        continue;
+      }
+      policy::DynamicRunOptions dyn_options;
+      dyn_options.planner.num_threads = 1;
+      const Result<policy::DynamicRunResult> run = policy::RunDynamic(
+          cluster, cost, healthy, trace, spec.batch, **selector,
+          dyn_options);
+      if (!run.ok()) {
+        out += StrFormat("dynamic run failed: %s\n",
+                         run.status().ToString().c_str());
+        continue;
+      }
+      out += StrFormat("iterations run     : %lld of %lld\n",
+                       static_cast<long long>(run->iterations_run),
+                       static_cast<long long>(run->trace_iterations));
+      out += StrFormat("events applied     : %d\n", run->events_applied);
+      std::string actions;
+      for (int a = 0; a < policy::kNumPolicyActions; ++a) {
+        if (a > 0) actions += ", ";
+        actions += StrFormat(
+            "%s %d",
+            policy::PolicyActionName(static_cast<policy::PolicyAction>(a)),
+            run->action_counts[a]);
+      }
+      out += StrFormat("actions            : %s\n", actions.c_str());
+      out += StrFormat("training seconds   : %.17g\n", run->training_seconds);
+      out += StrFormat("transition seconds : %.17g\n",
+                       run->transition_seconds);
+      out += StrFormat("wall seconds       : %.17g\n", run->wall_seconds);
+      out += StrFormat("goodput            : %.17g\n", run->goodput);
+      if (!run->stop_reason.empty()) {
+        out += StrFormat("stopped early      : %s\n",
+                         run->stop_reason.c_str());
+      }
+    }
   }
   return out;
 }

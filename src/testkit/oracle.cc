@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,6 +14,9 @@
 #include "model/cost_model.h"
 #include "net/flow_sim.h"
 #include "plan/estimator.h"
+#include "policy/events.h"
+#include "policy/policy.h"
+#include "policy/runner.h"
 #include "sim/pipeline_sim.h"
 #include "straggler/situation.h"
 #include "topology/cluster.h"
@@ -656,6 +660,77 @@ OracleOutcome RunOracles(const scenario::ScenarioSpec& spec,
     }
     if (!diff.empty()) {
       ctx.Violate("differential.flowsim-incremental", diff);
+    }
+  }
+
+  // ----- dynamic.engine-state-valid / dynamic.goodput-conservation --------
+  //
+  // Scenarios carrying a `dynamic = { ... }` block run the full policy
+  // engine (adaptive selector — the one that actually switches between all
+  // five actions) over the generated event trace and audit two invariants:
+  //
+  //   engine-state-valid     after EVERY applied event the installed plan
+  //                          passes Validate and schedules work on no
+  //                          failed GPU, whatever action was chosen
+  //   goodput-conservation   wall time is exactly training + transition
+  //                          (no seconds invented or dropped across policy
+  //                          switches), goodput is finite and nonnegative,
+  //                          and a run that did not stop early covers the
+  //                          whole trace
+  //
+  // A dynamic run that cannot even start (no initial plan under the
+  // overlay situation) is a skip, like an unplannable base scenario.
+  if (spec.dynamic.enabled) {
+    const policy::EventTrace trace = policy::GenerateEventTrace(
+        cluster, spec.dynamic,
+        spec.dynamic.seed != 0 ? spec.dynamic.seed : spec.seed);
+    Result<std::unique_ptr<policy::PolicySelector>> selector =
+        policy::MakeSelector("adaptive");
+    policy::DynamicRunOptions dyn_options;
+    dyn_options.planner.num_threads = 1;
+    const Result<policy::DynamicRunResult> run =
+        selector.ok() ? policy::RunDynamic(cluster, cost, situation, trace,
+                                           spec.batch, **selector,
+                                           dyn_options)
+                      : selector.status();
+    if (run.ok()) {
+      ctx.Ran("dynamic.engine-state-valid");
+      for (const policy::EventAudit& audit : run->audits) {
+        if (!audit.plan_valid || audit.uses_failed_gpu) {
+          ctx.Violate(
+              "dynamic.engine-state-valid",
+              StrFormat("after %s at iteration %lld, action %s left %s",
+                        policy::EventKindName(audit.kind),
+                        static_cast<long long>(audit.iteration),
+                        policy::PolicyActionName(audit.action),
+                        audit.uses_failed_gpu
+                            ? "a failed GPU scheduled"
+                            : "an invalid plan installed"));
+          break;
+        }
+      }
+      ctx.Ran("dynamic.goodput-conservation");
+      if (!SameDouble(run->wall_seconds,
+                      run->training_seconds + run->transition_seconds)) {
+        ctx.Violate("dynamic.goodput-conservation",
+                    StrFormat("wall %.17g s != training %.17g s + "
+                              "transition %.17g s",
+                              run->wall_seconds, run->training_seconds,
+                              run->transition_seconds));
+      }
+      if (!std::isfinite(run->goodput) || run->goodput < 0.0) {
+        ctx.Violate("dynamic.goodput-conservation",
+                    StrFormat("goodput %.17g is not finite and nonnegative",
+                              run->goodput));
+      }
+      if (run->stop_reason.empty() &&
+          run->iterations_run != trace.iterations) {
+        ctx.Violate("dynamic.goodput-conservation",
+                    StrFormat("run without a stop reason covered %lld of "
+                              "%lld iterations",
+                              static_cast<long long>(run->iterations_run),
+                              static_cast<long long>(trace.iterations)));
+      }
     }
   }
 

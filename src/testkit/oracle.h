@@ -56,6 +56,16 @@
 //                               grad-sync lowering submitted; no link
 //                               carries negative bytes or overcommits
 //
+//   dynamic (scenarios with a `dynamic = { ... }` block; malleus::policy):
+//     dynamic.engine-state-valid   after every applied cluster event the
+//                                  installed plan validates and schedules
+//                                  no failed GPU, whatever action the
+//                                  adaptive selector chose
+//     dynamic.goodput-conservation wall == training + transition exactly
+//                                  across policy switches; goodput finite
+//                                  and nonnegative; a run with no stop
+//                                  reason covers the whole trace
+//
 // An unplannable scenario (infeasible cluster/model combination) is NOT a
 // violation: the planner oracles then check that the failure itself is
 // deterministic across thread counts and cache modes, and the rest skip.

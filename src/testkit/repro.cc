@@ -89,15 +89,48 @@ bool ShrinkDropLastStraggler(scenario::ScenarioSpec* s) {
   s->stragglers.pop_back();
   return true;
 }
+bool ShrinkDynamicOff(scenario::ScenarioSpec* s) {
+  if (!s->dynamic.enabled) return false;
+  s->dynamic = scenario::DynamicSpec();
+  return true;
+}
+bool ShrinkDynamicIterationsHalf(scenario::ScenarioSpec* s) {
+  if (!s->dynamic.enabled || s->dynamic.iterations <= 1) return false;
+  s->dynamic.iterations /= 2;
+  return true;
+}
+bool ShrinkDynamicNoFail(scenario::ScenarioSpec* s) {
+  if (!s->dynamic.enabled ||
+      (s->dynamic.fail_rate == 0.0 && s->dynamic.node_fail_rate == 0.0)) {
+    return false;
+  }
+  s->dynamic.fail_rate = 0.0;
+  s->dynamic.node_fail_rate = 0.0;
+  return true;
+}
+bool ShrinkDynamicNoFlap(scenario::ScenarioSpec* s) {
+  if (!s->dynamic.enabled || s->dynamic.flap_prob == 0.0) return false;
+  s->dynamic.flap_prob = 0.0;
+  return true;
+}
+bool ShrinkDynamicNoDiurnal(scenario::ScenarioSpec* s) {
+  if (!s->dynamic.enabled || s->dynamic.diurnal_amplitude == 0.0) {
+    return false;
+  }
+  s->dynamic.diurnal_amplitude = 0.0;
+  return true;
+}
 
 // Cheapest-first: whole-field clears before halvings, so a spec whose bug
 // survives on the trivial shape collapses in a handful of evaluations.
 constexpr Shrink kShrinks[] = {
     ShrinkModel,          ShrinkDropAllPhases,    ShrinkDropAllStragglers,
-    ShrinkNodesToOne,     ShrinkGpusToOne,        ShrinkBatchToOne,
-    ShrinkSteps,          ShrinkNetModel,         ShrinkNodesHalf,
-    ShrinkGpusHalf,       ShrinkBatchHalf,        ShrinkDropLastPhase,
-    ShrinkDropLastStraggler,
+    ShrinkDynamicOff,     ShrinkNodesToOne,       ShrinkGpusToOne,
+    ShrinkBatchToOne,     ShrinkSteps,            ShrinkNetModel,
+    ShrinkNodesHalf,      ShrinkGpusHalf,         ShrinkBatchHalf,
+    ShrinkDropLastPhase,  ShrinkDropLastStraggler,
+    ShrinkDynamicIterationsHalf, ShrinkDynamicNoFail,
+    ShrinkDynamicNoFlap,  ShrinkDynamicNoDiurnal,
 };
 
 }  // namespace

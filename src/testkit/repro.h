@@ -4,7 +4,8 @@
 // When an oracle fires, the raw generated scenario is usually bigger than
 // the bug needs. MinimizeScenario shrinks it along a fixed schedule
 // (smaller model, fewer nodes/GPUs, smaller batch, dropped phases and
-// straggler entries), keeping a shrink only when the SAME oracle still
+// straggler entries, a disabled or tamer dynamic block), keeping a shrink
+// only when the SAME oracle still
 // fires on the shrunk spec. The result plus the violation metadata is
 // rendered into a standalone `.scenario` file that `malleus_fuzz
 // --replay=<file>` re-runs: the repro carries everything needed (the

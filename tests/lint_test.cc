@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -232,6 +233,7 @@ TEST_F(LintTest, PassRegistryCoversEveryCode) {
         kLintScenarioUnknownPhase, kLintScenarioInvalidValue,
         kLintScenarioGpuOutOfRange, kLintScenarioDuplicateStraggler,
         kLintScenarioUnknownFabric, kLintScenarioFabricFieldIgnored,
+        kLintScenarioDynamicInvalidValue, kLintScenarioDynamicSaturated,
         kLintGraphMalformedSchedule, kLintGraphDeadlock,
         kLintNetNegativeLinkBytes, kLintNetVolumeMismatch,
         kLintNetLinkOvercommit}) {
@@ -641,6 +643,55 @@ TEST_F(LintTest, ScenarioFabricFieldValidation) {
   LintScenario(stray, &stray_sink);
   EXPECT_TRUE(stray_sink.HasCode(kLintScenarioFabricFieldIgnored));
   EXPECT_FALSE(stray_sink.HasErrors());
+}
+
+TEST_F(LintTest, ScenarioDynamicInvalidValue) {
+  // A well-formed dynamic block lints clean.
+  scenario::ScenarioSpec ok;
+  ok.dynamic.enabled = true;
+  ok.dynamic.straggle_rate = 0.002;
+  ok.dynamic.fail_rate = 0.0002;
+  ok.dynamic.recover_iters = 40;
+  DiagnosticSink clean;
+  LintScenario(ok, &clean);
+  EXPECT_TRUE(clean.empty()) << RenderText(clean);
+
+  scenario::ScenarioSpec spec;
+  spec.dynamic.enabled = true;
+  spec.dynamic.iterations = 0;
+  spec.dynamic.straggle_rate = 1.5;
+  spec.dynamic.max_level = 9;
+  DiagnosticSink sink;
+  LintScenario(spec, &sink);
+  EXPECT_TRUE(sink.HasCode(kLintScenarioDynamicInvalidValue));
+  EXPECT_GE(sink.num_errors(), 3);  // All three findings, one pass.
+
+  // NaN rates are invalid, not silently in-range.
+  scenario::ScenarioSpec nan_spec;
+  nan_spec.dynamic.enabled = true;
+  nan_spec.dynamic.fail_rate = std::nan("");
+  DiagnosticSink nan_sink;
+  LintScenario(nan_spec, &nan_sink);
+  EXPECT_TRUE(nan_sink.HasCode(kLintScenarioDynamicInvalidValue));
+}
+
+TEST_F(LintTest, ScenarioDynamicSaturated) {
+  // 32 GPUs, per-GPU straggle probability 0.05/iter, mean heal 100 iters:
+  // ~160 expected concurrent faults >> 16 = num_gpus / 2.
+  scenario::ScenarioSpec spec;
+  spec.dynamic.enabled = true;
+  spec.dynamic.straggle_rate = 0.05;
+  spec.dynamic.recover_iters = 100;
+  DiagnosticSink sink;
+  LintScenario(spec, &sink);
+  EXPECT_TRUE(sink.HasCode(kLintScenarioDynamicSaturated));
+  EXPECT_FALSE(sink.HasErrors());  // A warning, not an error.
+
+  spec.dynamic.straggle_rate = 0.001;
+  spec.dynamic.recover_iters = 50;
+  DiagnosticSink clean;
+  LintScenario(spec, &clean);
+  EXPECT_FALSE(clean.HasCode(kLintScenarioDynamicSaturated));
 }
 
 TEST_F(LintTest, ScenarioGpuOutOfRange) {

@@ -228,6 +228,21 @@ void ExpectRoundTrips(const ScenarioSpec& spec) {
       EXPECT_EQ(back->stragglers[i].level, spec.stragglers[i].level);
     }
   }
+  EXPECT_EQ(back->dynamic.enabled, spec.dynamic.enabled);
+  if (spec.dynamic.enabled) {
+    EXPECT_EQ(back->dynamic.iterations, spec.dynamic.iterations);
+    EXPECT_EQ(back->dynamic.straggle_rate, spec.dynamic.straggle_rate);
+    EXPECT_EQ(back->dynamic.fail_rate, spec.dynamic.fail_rate);
+    EXPECT_EQ(back->dynamic.node_fail_rate, spec.dynamic.node_fail_rate);
+    EXPECT_EQ(back->dynamic.recover_iters, spec.dynamic.recover_iters);
+    EXPECT_EQ(back->dynamic.flap_prob, spec.dynamic.flap_prob);
+    EXPECT_EQ(back->dynamic.flap_period, spec.dynamic.flap_period);
+    EXPECT_EQ(back->dynamic.diurnal_amplitude,
+              spec.dynamic.diurnal_amplitude);
+    EXPECT_EQ(back->dynamic.diurnal_period, spec.dynamic.diurnal_period);
+    EXPECT_EQ(back->dynamic.max_level, spec.dynamic.max_level);
+    EXPECT_EQ(back->dynamic.seed, spec.dynamic.seed);
+  }
 }
 
 TEST(ScenarioSerializeTest, RoundTripsDefaults) {
@@ -306,6 +321,64 @@ TEST(ScenarioResolveTest, ResolvesHierarchicalFabrics) {
   ASSERT_TRUE(flat_resolved.ok()) << flat_resolved.status().ToString();
   EXPECT_EQ(flat_resolved->cluster.fabric().kind,
             topo::FabricSpec::Kind::kFlat);
+}
+
+TEST(ScenarioParseTest, DynamicBlockSyntax) {
+  Result<ScenarioSpec> spec = ParseScenarioString(
+      "dynamic = { iterations=500 straggle_rate=0.02 fail_rate=0.004 "
+      "node_fail_rate=0.001 recover_iters=80 flap_prob=0.3 flap_period=25 "
+      "diurnal_amplitude=0.8 diurnal_period=200 max_level=4 seed=7 }\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_TRUE(spec->dynamic.enabled);
+  EXPECT_EQ(spec->dynamic.iterations, 500);
+  EXPECT_DOUBLE_EQ(spec->dynamic.straggle_rate, 0.02);
+  EXPECT_DOUBLE_EQ(spec->dynamic.fail_rate, 0.004);
+  EXPECT_DOUBLE_EQ(spec->dynamic.node_fail_rate, 0.001);
+  EXPECT_EQ(spec->dynamic.recover_iters, 80);
+  EXPECT_DOUBLE_EQ(spec->dynamic.flap_prob, 0.3);
+  EXPECT_EQ(spec->dynamic.flap_period, 25);
+  EXPECT_DOUBLE_EQ(spec->dynamic.diurnal_amplitude, 0.8);
+  EXPECT_EQ(spec->dynamic.diurnal_period, 200);
+  EXPECT_EQ(spec->dynamic.max_level, 4);
+  EXPECT_EQ(spec->dynamic.seed, 7u);
+  EXPECT_EQ(spec->dynamic.line, 1);
+
+  // A bare block takes every default and still enables the mode; a
+  // trailing comment is stripped like on any other line.
+  Result<ScenarioSpec> bare =
+      ParseScenarioString("dynamic = { }  # defaults\n");
+  ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+  EXPECT_TRUE(bare->dynamic.enabled);
+  EXPECT_EQ(bare->dynamic.iterations, 2000);
+  EXPECT_FALSE(ParseScenarioString("dynamic = { iterations }\n").ok());
+  EXPECT_FALSE(ParseScenarioString("dynamic = { walrus=1 }\n").ok());
+  EXPECT_FALSE(ParseScenarioString("dynamic = { iterations=x }\n").ok());
+  EXPECT_FALSE(ParseScenarioString("dynamic = iterations=5\n").ok());
+  // Errors name the line of the dynamic block.
+  Result<ScenarioSpec> err =
+      ParseScenarioString("model = 32b\ndynamic = { walrus=1 }\n");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioSerializeTest, RoundTripsDynamicFields) {
+  ScenarioSpec spec;
+  spec.dynamic.enabled = true;
+  spec.dynamic.iterations = 1234;
+  spec.dynamic.straggle_rate = 0.012300000000000004;  // All 17 digits.
+  spec.dynamic.fail_rate = 0.004;
+  spec.dynamic.node_fail_rate = 0.0005;
+  spec.dynamic.recover_iters = 77;
+  spec.dynamic.flap_prob = 0.25;
+  spec.dynamic.flap_period = 33;
+  spec.dynamic.diurnal_amplitude = 0.9;
+  spec.dynamic.diurnal_period = 444;
+  spec.dynamic.max_level = 5;
+  spec.dynamic.seed = 987654321ULL;
+  ExpectRoundTrips(spec);
+  // Disabled dynamic serializes to nothing.
+  EXPECT_EQ(SerializeScenario(ScenarioSpec()).find("dynamic"),
+            std::string::npos);
 }
 
 TEST(ScenarioSerializeTest, SerializedTextIsStable) {

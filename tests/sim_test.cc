@@ -105,6 +105,21 @@ TEST(RestartTest, CostComposition) {
   EXPECT_LT(RestartSeconds(100e9, 8, cfg), RestartSeconds(100e9, 2, cfg));
 }
 
+TEST(RestartTest, RestartAfterFailureDoesNotDoubleCountLoad) {
+  // Regression for the restart-cost audit: a restart that follows a
+  // failure (or a failed migration) cannot save the lost state, so it
+  // pays init + one load. Charging RestartSeconds there would re-price
+  // the checkpoint I/O as an impossible save — exactly one load more.
+  RestartCostConfig cfg;
+  const double load = CheckpointLoadSeconds(100e9, 4, cfg);
+  const double after_failure = RestartAfterFailureSeconds(100e9, 4, cfg);
+  EXPECT_NEAR(after_failure, load + cfg.framework_init_seconds, 1e-9);
+  EXPECT_NEAR(RestartSeconds(100e9, 4, cfg), after_failure + load, 1e-9);
+  // Never cheaper than a bare reload, never as dear as a planned restart.
+  EXPECT_GT(after_failure, load);
+  EXPECT_LT(after_failure, RestartSeconds(100e9, 4, cfg));
+}
+
 class StepSimTest : public ::testing::Test {
  protected:
   plan::ParallelPlan MakePlan(int dp, int tp, int pp) {

@@ -34,6 +34,11 @@
 #                              #   the malleus_served smoke under
 #                              #   ASan/UBSan, then serve_test under TSan
 #                              #   with 4 workers/planner threads
+#   tools/check.sh --policy    # the online fault-tolerance policy engine:
+#                              #   policy_test under ASan/UBSan, a seeded
+#                              #   --dynamic fuzz budget, the checked-in
+#                              #   dynamic corpus replays and the
+#                              #   golden_dynamic snapshot comparison
 #   tools/check.sh --scale     # kilo-GPU smoke: plan + flow-level sim of
 #                              #   the examples/scenarios/scale/ fat-tree
 #                              #   scenarios (1024 GPUs end-to-end, 2048
@@ -79,6 +84,7 @@ for arg in "$@"; do
     --fuzz) MODE=fuzz ;;
     --whatif) MODE=whatif ;;
     --serve) MODE=serve ;;
+    --policy) MODE=policy ;;
     --scale) MODE=scale ;;
     --fast) FAST=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
@@ -300,6 +306,38 @@ if [[ "$MODE" == "whatif" ]]; then
   done
   echo "OK: recorded + swept every example scenario under ASan/UBSan" \
        "(analytic + flow net models, byte-identical repeat reports)"
+  exit 0
+fi
+
+if [[ "$MODE" == "policy" ]]; then
+  # The policy engine's hardening sweep, all in the instrumented build:
+  # the property tests (trace determinism, the adaptive cost bound, engine
+  # validity, byte-identical replay), a short seeded --dynamic fuzz budget
+  # driving the dynamic.* oracles on generated scenarios, every checked-in
+  # dynamic corpus replay, and the per-selector golden snapshot.
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target policy_test malleus_fuzz malleus_golden
+  echo "== policy_test (ASan/UBSan) =="
+  "$BUILD_DIR/tests/policy_test"
+  out_dir="$BUILD_DIR/fuzz-out"
+  mkdir -p "$out_dir"
+  echo "== malleus_fuzz --seed=$FUZZ_SEED --runs=15 --dynamic (sanitized) =="
+  if ! "$BUILD_DIR/tools/malleus_fuzz" \
+         --seed="$FUZZ_SEED" --runs=15 --dynamic --out="$out_dir" \
+         --report="$out_dir/report-dynamic.json"; then
+    echo "fuzz --dynamic: oracle violation(s); minimized repro(s):" >&2
+    ls "$out_dir"/repro-*.scenario >&2 2>/dev/null || true
+    exit 1
+  fi
+  echo "== dynamic corpus replays (sanitized) =="
+  for corpus in tests/dynamic_corpus/*.scenario; do
+    "$BUILD_DIR/tools/malleus_fuzz" --replay="$corpus"
+  done
+  echo "== golden_dynamic snapshot comparison (sanitized) =="
+  "$BUILD_DIR/tools/malleus_golden" \
+    --scenario-dir=examples/scenarios/dynamic --golden-dir=tests/golden
+  echo "OK: policy tests + dynamic fuzz budget + corpus replays" \
+       "+ golden snapshots clean under ASan/UBSan"
   exit 0
 fi
 

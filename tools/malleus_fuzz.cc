@@ -26,6 +26,9 @@
 //   --out=DIR                repro output directory (default ".")
 //   --report=FILE            write the JSON report to FILE
 //   --replay=FILE            re-run the oracles on one scenario file
+//   --dynamic                attach a `dynamic = {...}` block to every
+//                            generated scenario, so each run exercises the
+//                            policy engine's oracles (dynamic.*)
 //   --inject=perturb-estimate  deliberately break an oracle (harness test)
 
 #include <cinttypes>
@@ -55,6 +58,7 @@ struct Args {
   std::string out_dir = ".";
   std::string report_path;
   std::string replay_path;
+  bool dynamic = false;
   bool inject_perturb_estimate = false;
 };
 
@@ -78,6 +82,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->report_path = arg.substr(9);
     } else if (arg.rfind("--replay=", 0) == 0) {
       out->replay_path = arg.substr(9);
+    } else if (arg == "--dynamic") {
+      out->dynamic = true;
     } else if (arg == "--inject=perturb-estimate") {
       out->inject_perturb_estimate = true;
     } else {
@@ -141,8 +147,8 @@ std::string RenderReport(const Args& args, int resolved, int planned,
   std::string json = "{";
   json += StrFormat("\"seed\":%" PRIu64 ",\"runs\":%d,", args.seed,
                     args.runs);
-  json += StrFormat("\"net_model\":\"%s\",\"inject\":%s,",
-                    args.net_model.c_str(),
+  json += StrFormat("\"net_model\":\"%s\",\"dynamic\":%s,\"inject\":%s,",
+                    args.net_model.c_str(), args.dynamic ? "true" : "false",
                     args.inject_perturb_estimate ? "true" : "false");
   json += StrFormat("\"resolved\":%d,\"planned\":%d,", resolved, planned);
   json += "\"oracles\":{";
@@ -181,10 +187,14 @@ int Fuzz(const Args& args) {
   std::vector<ViolationRecord> records;
   bool io_failed = false;
 
+  testkit::GeneratorOptions generator_options;
+  if (args.dynamic) generator_options.dynamic_prob = 1.0;
+
   for (int run = 0; run < args.runs; ++run) {
     const uint64_t run_seed = testkit::MixSeed(args.seed, run);
     Rng rng(run_seed);
-    const scenario::ScenarioSpec spec = testkit::GenerateScenario(&rng);
+    const scenario::ScenarioSpec spec =
+        testkit::GenerateScenario(&rng, generator_options);
     const testkit::OracleOutcome outcome =
         testkit::RunOracles(spec, options);
     resolved += outcome.resolved ? 1 : 0;
@@ -249,7 +259,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: malleus_fuzz [--seed=N] [--runs=N] "
         "[--net-model=analytic|flow] [--out=DIR] [--report=FILE]\n"
-        "                    [--replay=FILE] [--inject=perturb-estimate]\n");
+        "                    [--replay=FILE] [--dynamic] "
+        "[--inject=perturb-estimate]\n");
     return 2;
   }
   if (!args.replay_path.empty()) return Replay(args);
